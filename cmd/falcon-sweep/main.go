@@ -1,0 +1,183 @@
+// falcon-sweep regenerates the paper's scalability and tuple-size studies:
+//
+//	default:    Figure 11 — the ablation engines (Inp, Inp+SLW, Inp NoFlush,
+//	            Inp+HTT, Falcon) across thread counts on TPC-C, YCSB-A
+//	            Uniform and YCSB-A Zipfian.
+//	-tuplesize: Figure 12 — Falcon vs Inp vs Outp on YCSB-A Uniform across
+//	            tuple sizes, at two thread counts, showing where the small
+//	            log window stops helping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"falcon/internal/bench"
+	"falcon/internal/core"
+	"falcon/internal/workload/tpcc"
+	"falcon/internal/workload/ycsb"
+)
+
+func main() {
+	threadList := flag.String("threads", "2,4,8,12,16", "comma-separated thread counts (paper: 8..48)")
+	txns := flag.Int("txns", 600, "measured transactions per worker")
+	warmup := flag.Int("warmup", 150, "warmup transactions per worker")
+	records := flag.Uint64("records", 50_000, "YCSB records")
+	tupleSize := flag.Bool("tuplesize", false, "run Figure 12 (tuple-size sweep) instead of Figure 11")
+	flag.Parse()
+
+	threads := parseInts(*threadList)
+	if *tupleSize {
+		fig12(threads, *txns, *warmup)
+		return
+	}
+	fig11(threads, *txns, *warmup, *records)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad thread count:", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fig11(threads []int, txns, warmup int, records uint64) {
+	type workload struct {
+		name string
+		run  func(ecfg core.Config, th int) (*bench.Result, error)
+	}
+	workloads := []workload{
+		{"TPC-C", func(ecfg core.Config, th int) (*bench.Result, error) {
+			w := th / 2
+			if w < 2 {
+				w = 2
+			}
+			e, d, err := bench.NewTPCC(ecfg, tpcc.Config{Warehouses: w, Items: 2000, CustomersPerDistrict: 120})
+			if err != nil {
+				return nil, err
+			}
+			return bench.Run(e, "TPC-C", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+				func(w int) (int, error) { return 0, d.Next(w) })
+		}},
+		{"YCSB-A Uniform", ycsbRunner(records, ycsb.Uniform, txns, warmup)},
+		{"YCSB-A Zipfian", ycsbRunner(records, ycsb.Zipfian, txns, warmup)},
+	}
+
+	for _, wl := range workloads {
+		fmt.Printf("Figure 11 (%s): throughput (MTxn/s) by thread count\n", wl.name)
+		fmt.Printf("%-26s", "engine")
+		for _, th := range threads {
+			fmt.Printf("%10d", th)
+		}
+		fmt.Println()
+		for _, ecfg := range bench.AblationConfigs() {
+			fmt.Printf("%-26s", ecfg.Name)
+			for _, th := range threads {
+				cfg := ecfg
+				cfg.Threads = th
+				res, err := wl.run(cfg, th)
+				if err != nil {
+					fmt.Printf("%10s", "ERR")
+					fmt.Fprintln(os.Stderr, ecfg.Name, th, err)
+					continue
+				}
+				fmt.Printf("%10.3f", res.MTxnPerSec)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func ycsbRunner(records uint64, dist ycsb.Distribution, txns, warmup int) func(core.Config, int) (*bench.Result, error) {
+	return func(ecfg core.Config, th int) (*bench.Result, error) {
+		e, d, err := bench.NewYCSB(ecfg, ycsb.Config{Records: records, Workload: ycsb.A, Distribution: dist})
+		if err != nil {
+			return nil, err
+		}
+		return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+			func(w int) (int, error) { return 0, d.Next(w) })
+	}
+}
+
+// fig12 sweeps tuple size. The paper sweeps 64 KB – 1 MB on 256 GB of PMem;
+// scaled down we sweep 256 B – 64 KB, which crosses the same regimes: redo
+// fits the small log window → spills to overflow → overflow dominates.
+func fig12(threads []int, txns, warmup int) {
+	sizes := []int{256, 1024, 4096, 16 << 10, 64 << 10}
+	engines := []core.Config{core.FalconConfig(), core.InpConfig(), core.OutpConfig()}
+	if len(threads) > 2 {
+		threads = []int{threads[1], threads[len(threads)-1]}
+	}
+
+	fmt.Println("Figure 12: YCSB-A Uniform throughput (KTxn/s) by tuple size")
+	fmt.Printf("%-20s", "engine-threads")
+	for _, sz := range sizes {
+		fmt.Printf("%10s", fmtSize(sz))
+	}
+	fmt.Println()
+	for _, th := range threads {
+		for _, ecfg := range engines {
+			cfg := ecfg
+			cfg.Threads = th
+			fmt.Printf("%-20s", fmt.Sprintf("%s-%d", ecfg.Name, th))
+			for _, sz := range sizes {
+				res, err := runTupleSize(cfg, th, sz, txns, warmup)
+				if err != nil {
+					fmt.Printf("%10s", "ERR")
+					fmt.Fprintln(os.Stderr, ecfg.Name, th, sz, err)
+					continue
+				}
+				fmt.Printf("%10.1f", res.MTxnPerSec*1000)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func runTupleSize(ecfg core.Config, th, size, txns, warmup int) (*bench.Result, error) {
+	fields := 8
+	fieldBytes := (size - 8) / fields
+	if fieldBytes < 8 {
+		fields, fieldBytes = 1, size-8
+	}
+	records := uint64(256 << 20 / size) // hold the heap near 256 MB
+	if records > 50_000 {
+		records = 50_000
+	}
+	if records < 2048 {
+		records = 2048
+	}
+	// Larger tuples need a larger log overflow area and fewer transactions
+	// to keep host time in check.
+	ecfg.Window.OverflowBytes = size + 64<<10
+	t := txns
+	if size >= 16<<10 {
+		t = txns / 4
+	}
+	e, d, err := bench.NewYCSB(ecfg, ycsb.Config{
+		Records: records, Fields: fields, FieldBytes: fieldBytes,
+		Workload: ycsb.A, Distribution: ycsb.Uniform,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: t, WarmupPerWorker: warmup / 2},
+		func(w int) (int, error) { return 0, d.Next(w) })
+}
+
+func fmtSize(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,107 @@
+// falcon-tpcc regenerates the paper's Figure 7 (TPC-C throughput for every
+// engine × concurrency-control algorithm) and, with -latency, Figure 8
+// (NewOrder and Payment latency under OCC).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"falcon/internal/bench"
+	"falcon/internal/cc"
+	"falcon/internal/core"
+	"falcon/internal/workload/tpcc"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "worker threads (the paper uses 48)")
+	warehouses := flag.Int("warehouses", 0, "warehouses (default = threads/2, min 2)")
+	items := flag.Int("items", 2000, "catalog size (spec: 100000)")
+	customers := flag.Int("customers", 120, "customers per district (spec: 3000)")
+	txns := flag.Int("txns", 400, "measured transactions per worker")
+	warmup := flag.Int("warmup", 100, "warmup transactions per worker")
+	latency := flag.Bool("latency", false, "run Figure 8 (latency, OCC) instead of Figure 7")
+	algos := flag.String("cc", "", "comma-free CC filter, e.g. OCC (default: all six)")
+	flag.Parse()
+
+	if *warehouses == 0 {
+		*warehouses = *threads / 2
+		if *warehouses < 2 {
+			*warehouses = 2
+		}
+	}
+	wcfg := tpcc.Config{Warehouses: *warehouses, Items: *items, CustomersPerDistrict: *customers}
+	opts := bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup, Classes: 5}
+
+	if *latency {
+		fig8(wcfg, opts)
+		return
+	}
+
+	ccList := cc.All
+	if *algos != "" {
+		ccList = nil
+		for _, a := range cc.All {
+			if a.String() == *algos {
+				ccList = append(ccList, a)
+			}
+		}
+		if len(ccList) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown cc %q\n", *algos)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("Figure 7: TPC-C throughput (MTxn/s), %d threads, %d warehouses\n", *threads, *warehouses)
+	fmt.Printf("%-24s", "engine")
+	for _, a := range ccList {
+		fmt.Printf("%10s", a.String())
+	}
+	fmt.Println()
+	for _, ecfg := range bench.EngineConfigs() {
+		fmt.Printf("%-24s", ecfg.Name)
+		for _, a := range ccList {
+			res, err := runOne(ecfg, a, wcfg, opts)
+			if err != nil {
+				fmt.Printf("%10s", "ERR")
+				fmt.Fprintln(os.Stderr, ecfg.Name, a, err)
+				continue
+			}
+			fmt.Printf("%10.3f", res.MTxnPerSec)
+		}
+		fmt.Println()
+	}
+}
+
+func runOne(ecfg core.Config, algo cc.Algo, wcfg tpcc.Config, opts bench.Options) (*bench.Result, error) {
+	ecfg.Threads = opts.Workers
+	ecfg.CC = algo
+	e, d, err := bench.NewTPCC(ecfg, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Run(e, "TPC-C", opts, func(w int) (int, error) {
+		ty, err := d.NextTyped(w)
+		return int(ty), err
+	})
+}
+
+func fig8(wcfg tpcc.Config, opts bench.Options) {
+	fmt.Printf("Figure 8: TPC-C latency (virtual µs), OCC, %d threads\n", opts.Workers)
+	fmt.Printf("%-24s %12s %12s %12s %12s\n", "engine",
+		"NewOrd avg", "NewOrd p95", "Paymnt avg", "Paymnt p95")
+	for _, ecfg := range bench.EngineConfigs() {
+		res, err := runOne(ecfg, cc.OCC, wcfg, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, ecfg.Name, err)
+			continue
+		}
+		no, pay := int(tpcc.TxnNewOrder), int(tpcc.TxnPayment)
+		fmt.Printf("%-24s %12.2f %12.2f %12.2f %12.2f\n", ecfg.Name,
+			us(res.LatAvgNanos[no]), us(res.LatP95Nanos[no]),
+			us(res.LatAvgNanos[pay]), us(res.LatP95Nanos[pay]))
+	}
+}
+
+func us(n uint64) float64 { return float64(n) / 1000 }

@@ -1,0 +1,69 @@
+// falcon-ycsb regenerates the paper's Figure 9: YCSB throughput for
+// workloads A–F under Uniform and Zipfian(0.99) request distributions, for
+// every engine, using OCC (the paper reports OCC and notes other algorithms
+// behave similarly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"falcon/internal/bench"
+	"falcon/internal/cc"
+	"falcon/internal/workload/ycsb"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "worker threads (the paper uses 48)")
+	records := flag.Uint64("records", 100_000, "table records (paper: 256M)")
+	txns := flag.Int("txns", 1000, "measured transactions per worker")
+	warmup := flag.Int("warmup", 300, "warmup transactions per worker")
+	workloads := flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*workloads, ",") {
+		want[strings.TrimSpace(strings.ToUpper(s))] = true
+	}
+
+	fmt.Printf("Figure 9: YCSB throughput (MTxn/s), OCC, %d threads, %d records\n", *threads, *records)
+	fmt.Printf("%-24s", "engine")
+	var cells []ycsb.Config
+	for _, w := range ycsb.AllWorkloads {
+		letter := strings.TrimPrefix(w.String(), "YCSB-")
+		if !want[letter] {
+			continue
+		}
+		for _, dist := range []ycsb.Distribution{ycsb.Uniform, ycsb.Zipfian} {
+			cells = append(cells, ycsb.Config{Records: *records, Workload: w, Distribution: dist})
+			fmt.Printf("%12s", fmt.Sprintf("%s/%s", letter, dist.String()[:3]))
+		}
+	}
+	fmt.Println()
+
+	for _, ecfg := range bench.EngineConfigs() {
+		ecfg.Threads = *threads
+		ecfg.CC = cc.OCC
+		fmt.Printf("%-24s", ecfg.Name)
+		for _, wcfg := range cells {
+			e, d, err := bench.NewYCSB(ecfg, wcfg)
+			if err != nil {
+				fmt.Printf("%12s", "ERR")
+				fmt.Fprintln(os.Stderr, ecfg.Name, wcfg.Workload, err)
+				continue
+			}
+			res, err := bench.Run(e, wcfg.Workload.String(),
+				bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup},
+				func(w int) (int, error) { return 0, d.Next(w) })
+			if err != nil {
+				fmt.Printf("%12s", "ERR")
+				fmt.Fprintln(os.Stderr, ecfg.Name, wcfg.Workload, err)
+				continue
+			}
+			fmt.Printf("%12.3f", res.MTxnPerSec)
+		}
+		fmt.Println()
+	}
+}

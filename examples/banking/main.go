@@ -1,0 +1,143 @@
+// Banking: concurrent transfers between accounts under different
+// concurrency-control algorithms, with a crash in the middle of the run.
+// The invariant — total money is conserved — must hold before the crash and
+// after recovery, for every algorithm.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"falcon"
+)
+
+const (
+	accounts  = 64
+	initial   = 1_000
+	workers   = 4
+	transfers = 400 // per worker
+)
+
+func main() {
+	for _, algo := range []falcon.Config{
+		withCC(falcon.TwoPL), withCC(falcon.TO), withCC(falcon.OCC), withCC(falcon.MVOCC),
+	} {
+		run(algo)
+	}
+}
+
+func withCC(algo falcon.CCAlgo) falcon.Config {
+	cfg := falcon.FalconConfig()
+	cfg.Threads = workers
+	cfg.CC = algo
+	return cfg
+}
+
+func run(cfg falcon.Config) {
+	schema := falcon.NewSchema(
+		falcon.Column{Name: "id", Kind: falcon.Uint64},
+		falcon.Column{Name: "balance", Kind: falcon.Int64},
+	)
+	db, err := falcon.Open(falcon.Options{
+		Config: cfg,
+		Tables: []falcon.TableSpec{{
+			Name: "accounts", Schema: schema, Capacity: accounts * 2, IndexKind: falcon.Hash,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := db.Table("accounts")
+
+	payload := make([]byte, schema.TupleSize())
+	for id := uint64(0); id < accounts; id++ {
+		schema.PutUint64(payload, 0, id)
+		schema.PutInt64(payload, 1, initial)
+		// Spread inserts across workers: tuple slots are allocated from
+		// per-thread ranges (the paper's NUMA-aware page ownership).
+		if err := db.Run(int(id)%workers, func(tx *falcon.Txn) error {
+			return tx.Insert(tbl, id, payload)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			buf := make([]byte, schema.TupleSize())
+			for i := 0; i < transfers; i++ {
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				amount := int64(rng.Intn(100))
+				err := db.Run(w, func(tx *falcon.Txn) error {
+					if err := tx.ReadForUpdate(tbl, from, buf); err != nil {
+						return err
+					}
+					fb := schema.GetInt64(buf, 1)
+					if fb < amount {
+						return falcon.ErrRollback // insufficient funds
+					}
+					if err := tx.ReadForUpdate(tbl, to, buf); err != nil {
+						return err
+					}
+					tb := schema.GetInt64(buf, 1)
+					if err := tx.UpdateField(tbl, from, 1, i64(fb-amount)); err != nil {
+						return err
+					}
+					return tx.UpdateField(tbl, to, 1, i64(tb+amount))
+				})
+				if err != nil && !errors.Is(err, falcon.ErrRollback) {
+					log.Fatalf("%s transfer: %v", cfg.CC, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	before := total(db, schema)
+	db2, _, err := falcon.Recover(db.Crash(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := total(db2, schema)
+
+	status := "OK"
+	if before != accounts*initial || after != accounts*initial {
+		status = "VIOLATED"
+	}
+	fmt.Printf("%-6s total before crash: %6d  after recovery: %6d  invariant %s (commits=%d aborts=%d)\n",
+		cfg.CC, before, after, status, db.Commits(), db.Aborts())
+}
+
+func total(db *falcon.DB, schema *falcon.Schema) int64 {
+	tbl := db.Table("accounts")
+	buf := make([]byte, schema.TupleSize())
+	var sum int64
+	for id := uint64(0); id < accounts; id++ {
+		if err := db.RunRO(0, func(tx *falcon.Txn) error {
+			return tx.Read(tbl, id, buf)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		sum += schema.GetInt64(buf, 1)
+	}
+	return sum
+}
+
+func i64(v int64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Enginecompare: run the same read-modify-write workload against the
+// paper's engine designs and compare their virtual-time behaviour and NVM
+// traffic — a miniature of the paper's evaluation, driven entirely through
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"falcon"
+)
+
+const (
+	workers = 4
+	keys    = 5_000
+	txns    = 1_500 // per worker
+)
+
+func main() {
+	fmt.Printf("%-24s %14s %14s %12s %10s\n",
+		"engine", "virtual time", "media writes", "media reads", "write amp")
+	for _, cfg := range []falcon.Config{
+		falcon.FalconConfig(),
+		falcon.FalconNoFlushConfig(),
+		falcon.FalconAllFlushConfig(),
+		falcon.InpConfig(),
+		falcon.OutpConfig(),
+		falcon.ZenSConfig(),
+	} {
+		run(cfg)
+	}
+}
+
+func run(cfg falcon.Config) {
+	schema := falcon.NewSchema(
+		falcon.Column{Name: "k", Kind: falcon.Uint64},
+		falcon.Column{Name: "payload", Kind: falcon.Bytes, Size: 248},
+	)
+	cfg.Threads = workers
+	db, err := falcon.Open(falcon.Options{
+		Config: cfg,
+		Tables: []falcon.TableSpec{{
+			Name: "data", Schema: schema, Capacity: keys * 2, IndexKind: falcon.Hash,
+		}},
+		Mem: falcon.MemConfig{DeviceBytes: 512 << 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := db.Table("data")
+	payload := make([]byte, schema.TupleSize())
+	for k := uint64(0); k < keys; k++ {
+		schema.PutUint64(payload, 0, k)
+		if err := db.Run(int(k)%workers, func(tx *falcon.Txn) error {
+			return tx.Insert(tbl, k, payload)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.ResetClocks()
+	before := db.System().Dev.Stats().Snapshot()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := uint64(w)*0x9E3779B97F4A7C15 + 1
+			val := make([]byte, 248)
+			for i := 0; i < txns; i++ {
+				state ^= state >> 12
+				state ^= state << 25
+				state ^= state >> 27
+				k := state * 2685821657736338717 % keys
+				val[0] = byte(i)
+				if err := db.Run(w, func(tx *falcon.Txn) error {
+					return tx.UpdateField(tbl, k, 1, val)
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var maxNanos uint64
+	for _, c := range db.Clocks() {
+		if c.Nanos() > maxNanos {
+			maxNanos = c.Nanos()
+		}
+	}
+	d := db.System().Dev.Stats().Snapshot().Sub(before)
+	fmt.Printf("%-24s %11.3f ms %14d %12d %10.2f\n",
+		cfg.Name, float64(maxNanos)/1e6, d.MediaWrites, d.MediaReads, d.WriteAmplification())
+}

@@ -1,0 +1,82 @@
+package falcon_test
+
+import (
+	"errors"
+	"testing"
+
+	"falcon"
+)
+
+func kvOptions(cfg falcon.Config) falcon.Options {
+	schema := falcon.NewSchema(
+		falcon.Column{Name: "id", Kind: falcon.Uint64},
+		falcon.Column{Name: "value", Kind: falcon.Int64},
+	)
+	return falcon.Options{
+		Config: cfg,
+		Tables: []falcon.TableSpec{{
+			Name: "kv", Schema: schema, Capacity: 10000, IndexKind: falcon.Hash,
+		}},
+		Mem: falcon.MemConfig{DeviceBytes: 128 << 20},
+	}
+}
+
+func TestOpenRunCrashRecover(t *testing.T) {
+	cfg := falcon.FalconConfig()
+	cfg.Threads = 2
+	db, err := falcon.Open(kvOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("kv")
+	s := tbl.Schema()
+	payload := make([]byte, s.TupleSize())
+	s.PutUint64(payload, 0, 7)
+	s.PutInt64(payload, 1, 77)
+	if err := db.Run(0, func(tx *falcon.Txn) error {
+		return tx.Insert(tbl, 7, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rep, err := falcon.Recover(db.Crash(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalNanos == 0 {
+		t.Error("recovery reported zero virtual time")
+	}
+	tbl2 := db2.Table("kv")
+	buf := make([]byte, s.TupleSize())
+	if err := db2.RunRO(0, func(tx *falcon.Txn) error { return tx.Read(tbl2, 7, buf) }); err != nil {
+		t.Fatal(err)
+	}
+	if s.GetInt64(buf, 1) != 77 {
+		t.Fatalf("recovered value = %d", s.GetInt64(buf, 1))
+	}
+}
+
+func TestFacadeErrorsExported(t *testing.T) {
+	cfg := falcon.FalconConfig()
+	cfg.Threads = 1
+	db, err := falcon.Open(kvOptions(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("kv")
+	buf := make([]byte, tbl.Schema().TupleSize())
+	err = db.RunRO(0, func(tx *falcon.Txn) error { return tx.Read(tbl, 42, buf) })
+	if !errors.Is(err, falcon.ErrNotFound) {
+		t.Fatalf("err = %v, want falcon.ErrNotFound", err)
+	}
+}
+
+func TestDefaultConfigIsFalcon(t *testing.T) {
+	db, err := falcon.Open(kvOptions(falcon.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Config().Name != "Falcon" {
+		t.Fatalf("default config = %q", db.Config().Name)
+	}
+}

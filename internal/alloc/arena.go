@@ -1,0 +1,135 @@
+// Package alloc manages the simulated NVM address space. Following the
+// paper's §5.1, storage is handed out in large pages (2 MiB) from a global
+// arena; finer-grained allocation (tuple slots, log records) is performed by
+// the owning subsystem inside its region, usually per thread to avoid
+// contention.
+//
+// The arena's bump pointer is persisted through the simulated cache on every
+// allocation. Under persistent cache (eADR) that store is durable the moment
+// it executes, so allocation metadata survives crashes without explicit
+// flushes — the same property Falcon relies on for its log windows.
+package alloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+// PageSize is the allocation granule of the global arena.
+const PageSize = 2 << 20
+
+// HeaderBytes is the space the arena reserves for its own persistent state.
+const HeaderBytes = 64
+
+const arenaMagic = 0xFA1C0A11_0C470500
+
+// ErrOutOfSpace is returned when the arena cannot satisfy an allocation.
+var ErrOutOfSpace = errors.New("alloc: arena out of space")
+
+// Arena allocates regions of the NVM space. It is safe for concurrent use.
+type Arena struct {
+	space pmem.Space
+	hdr   uint64 // offset of the persistent header
+	limit uint64
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewArena formats a new arena whose persistent header lives at hdrOff and
+// which hands out bytes in [start, limit).
+func NewArena(space pmem.Space, hdrOff, start, limit uint64) (*Arena, error) {
+	if hdrOff+HeaderBytes > start || start > limit || limit > space.Size() {
+		return nil, fmt.Errorf("alloc: bad arena geometry hdr=%d start=%d limit=%d size=%d",
+			hdrOff, start, limit, space.Size())
+	}
+	a := &Arena{space: space, hdr: hdrOff, limit: limit, next: start}
+	var buf [HeaderBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], arenaMagic)
+	binary.LittleEndian.PutUint64(buf[8:], start)
+	binary.LittleEndian.PutUint64(buf[16:], limit)
+	binary.LittleEndian.PutUint64(buf[24:], a.next)
+	space.BulkWrite(hdrOff, buf[:])
+	return a, nil
+}
+
+// OpenArena reopens an arena from its persistent header (recovery path).
+func OpenArena(space pmem.Space, clk *sim.Clock, hdrOff uint64) (*Arena, error) {
+	var buf [HeaderBytes]byte
+	space.Read(clk, hdrOff, buf[:])
+	if binary.LittleEndian.Uint64(buf[0:]) != arenaMagic {
+		return nil, errors.New("alloc: no arena header found")
+	}
+	return &Arena{
+		space: space,
+		hdr:   hdrOff,
+		limit: binary.LittleEndian.Uint64(buf[16:]),
+		next:  binary.LittleEndian.Uint64(buf[24:]),
+	}, nil
+}
+
+// Alloc returns an n-byte region aligned to align (a power of two; 0 means
+// PageSize alignment for page-multiple requests, else 64).
+func (a *Arena) Alloc(clk *sim.Clock, n uint64, align uint64) (uint64, error) {
+	if align == 0 {
+		if n%PageSize == 0 {
+			align = PageSize
+		} else {
+			align = 64
+		}
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("alloc: alignment %d is not a power of two", align)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := (a.next + align - 1) &^ (align - 1)
+	if off+n > a.limit {
+		return 0, fmt.Errorf("%w: need %d at %d, limit %d", ErrOutOfSpace, n, off, a.limit)
+	}
+	a.next = off + n
+	a.persistNext(clk)
+	return off, nil
+}
+
+// AllocPages returns npages contiguous pages.
+func (a *Arena) AllocPages(clk *sim.Clock, npages int) (uint64, error) {
+	return a.Alloc(clk, uint64(npages)*PageSize, PageSize)
+}
+
+// Remaining returns the bytes still available.
+func (a *Arena) Remaining() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.next > a.limit {
+		return 0
+	}
+	return a.limit - a.next
+}
+
+// Space returns the backing space.
+func (a *Arena) Space() pmem.Space { return a.space }
+
+func (a *Arena) persistNext(clk *sim.Clock) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], a.next)
+	a.space.Write(clk, a.hdr+24, b[:])
+	// The header line is hot and stays cached; under eADR the store above is
+	// already durable. Under ADR an explicit flush is required.
+	if !cachePersistent(a.space) {
+		a.space.CLWB(clk, a.hdr+24, 8)
+		a.space.SFence(clk)
+	}
+}
+
+// cachePersistent reports whether stores to the space are durable without
+// explicit flushes (eADR-backed NVM space).
+func cachePersistent(s pmem.Space) bool {
+	n, ok := s.(*pmem.NVMSpace)
+	return ok && n.Cache().Mode() == pmem.EADR
+}

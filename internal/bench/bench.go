@@ -1,0 +1,170 @@
+// Package bench runs workloads against engine configurations and reports
+// throughput and latency in virtual time (see package sim for why wall-clock
+// measurement is meaningless on this host). It produces the rows and series
+// behind every figure reproduced in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"falcon/internal/core"
+	"falcon/internal/sim"
+)
+
+// TxnFunc executes one transaction for worker w and returns a latency class
+// (an arbitrary small int, e.g. the TPC-C transaction type) for percentile
+// bookkeeping.
+type TxnFunc func(w int) (class int, err error)
+
+// Options parameterize a run.
+type Options struct {
+	// Workers is the number of worker threads; must not exceed the
+	// engine's configured Threads.
+	Workers int
+	// TxnsPerWorker is the measured transaction count per worker.
+	TxnsPerWorker int
+	// WarmupPerWorker transactions run before counters/clocks reset.
+	WarmupPerWorker int
+	// Classes is the number of latency classes (max class + 1); 0 = 1.
+	Classes int
+}
+
+// Result is one measured configuration.
+type Result struct {
+	// Engine and Workload label the run.
+	Engine   string
+	Workload string
+	// Workers actually used.
+	Workers int
+	// Committed transactions and aborted attempts during measurement.
+	Committed uint64
+	Aborted   uint64
+	// VirtualNanos is the run's completion time (max worker clock).
+	VirtualNanos uint64
+	// MTxnPerSec is throughput in million transactions per virtual second —
+	// the paper's reporting unit. It sums per-worker rates
+	// (txns_w / clock_w), the fixed-duration estimator: a real benchmark
+	// runs workers for equal time, not equal transaction counts.
+	MTxnPerSec float64
+	// LatAvgNanos / LatP95Nanos are per-class virtual latencies.
+	LatAvgNanos []uint64
+	LatP95Nanos []uint64
+	// MediaWrites/MediaReads/WriteAmp summarize NVM traffic during the run.
+	MediaWrites uint64
+	MediaReads  uint64
+	WriteAmp    float64
+}
+
+// Run executes the workload on the engine and measures it.
+func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, error) {
+	if opts.Workers <= 0 || opts.Workers > e.Config().Threads {
+		opts.Workers = e.Config().Threads
+	}
+	if opts.Classes <= 0 {
+		opts.Classes = 1
+	}
+
+	runPhase := func(txns int, record bool, samples [][]uint64) error {
+		var wg sync.WaitGroup
+		errs := make([]error, opts.Workers)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				clk := e.Clock(w)
+				for i := 0; i < txns; i++ {
+					before := clk.Nanos()
+					class, err := fn(w)
+					if err != nil {
+						errs[w] = fmt.Errorf("worker %d txn %d: %w", w, i, err)
+						return
+					}
+					if record {
+						if class < 0 || class >= opts.Classes {
+							class = 0
+						}
+						samples[w] = append(samples[w], uint64(class)<<56|(clk.Nanos()-before))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if opts.WarmupPerWorker > 0 {
+		if err := runPhase(opts.WarmupPerWorker, false, nil); err != nil {
+			return nil, err
+		}
+	}
+	e.ResetClocks()
+	e.ResetCounters()
+	stats0 := e.System().Dev.Stats().Snapshot()
+
+	samples := make([][]uint64, opts.Workers)
+	for w := range samples {
+		samples[w] = make([]uint64, 0, opts.TxnsPerWorker)
+	}
+	if err := runPhase(opts.TxnsPerWorker, true, samples); err != nil {
+		return nil, err
+	}
+
+	stats1 := e.System().Dev.Stats().Snapshot().Sub(stats0)
+	res := &Result{
+		Engine:       e.Config().Name,
+		Workload:     workload,
+		Workers:      opts.Workers,
+		Committed:    e.Commits(),
+		Aborted:      e.Aborts(),
+		VirtualNanos: sim.MaxNanos(e.Clocks()),
+		MediaWrites:  stats1.MediaWrites,
+		MediaReads:   stats1.MediaReads,
+		WriteAmp:     stats1.WriteAmplification(),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		if n := e.Clock(w).Nanos(); n > 0 {
+			res.MTxnPerSec += float64(opts.TxnsPerWorker) / (float64(n) / 1e9) / 1e6
+		}
+	}
+	res.LatAvgNanos, res.LatP95Nanos = percentiles(samples, opts.Classes)
+	return res, nil
+}
+
+const latMask = (uint64(1) << 56) - 1
+
+func percentiles(samples [][]uint64, classes int) (avg, p95 []uint64) {
+	perClass := make([][]uint64, classes)
+	for _, list := range samples {
+		for _, s := range list {
+			c := int(s >> 56)
+			perClass[c] = append(perClass[c], s&latMask)
+		}
+	}
+	avg = make([]uint64, classes)
+	p95 = make([]uint64, classes)
+	for c, list := range perClass {
+		if len(list) == 0 {
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		var sum uint64
+		for _, v := range list {
+			sum += v
+		}
+		avg[c] = sum / uint64(len(list))
+		p95[c] = list[(len(list)*95)/100]
+	}
+	return avg, p95
+}
+
+// FormatMTxn renders throughput the way the paper's axes do.
+func FormatMTxn(v float64) string {
+	return fmt.Sprintf("%.3f MTxn/s", v)
+}

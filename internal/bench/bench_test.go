@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/workload/tpcc"
+	"falcon/internal/workload/ycsb"
+)
+
+func TestRunTPCCSmoke(t *testing.T) {
+	ecfg := core.FalconConfig()
+	ecfg.Threads = 4
+	e, d, err := NewTPCC(ecfg, tpcc.Config{Warehouses: 2, Items: 200, CustomersPerDistrict: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, "TPC-C", Options{Workers: 4, TxnsPerWorker: 50, WarmupPerWorker: 10, Classes: 5},
+		func(w int) (int, error) {
+			ty, err := d.NextTyped(w)
+			return int(ty), err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTxnPerSec <= 0 || res.VirtualNanos == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.Committed < 200 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.LatAvgNanos[int(tpcc.TxnNewOrder)] == 0 {
+		t.Fatal("NewOrder latency not measured")
+	}
+}
+
+func TestRunYCSBSmoke(t *testing.T) {
+	ecfg := core.ZenSConfig()
+	ecfg.Threads = 2
+	e, d, err := NewYCSB(ecfg, ycsb.Config{Records: 2000, Fields: 4, FieldBytes: 32, Workload: ycsb.A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, "YCSB-A", Options{Workers: 2, TxnsPerWorker: 100},
+		func(w int) (int, error) { return 0, d.Next(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTxnPerSec <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestEstimateDeviceBytesCoversLoad(t *testing.T) {
+	// If the estimate were too small, NewTPCC/NewYCSB above would fail with
+	// arena exhaustion; exercise a larger shape here.
+	ecfg := core.OutpConfig()
+	ecfg.Threads = 8
+	_, _, err := NewTPCC(ecfg, tpcc.Config{Warehouses: 4, Items: 500, CustomersPerDistrict: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

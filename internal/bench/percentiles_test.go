@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+func TestPercentilesPerClass(t *testing.T) {
+	// Two workers, two classes; class 1 strictly slower.
+	samples := [][]uint64{
+		{enc(0, 100), enc(0, 200), enc(1, 1000)},
+		{enc(0, 300), enc(1, 3000), enc(1, 2000)},
+	}
+	avg, p95 := percentiles(samples, 2)
+	if avg[0] != 200 {
+		t.Errorf("class 0 avg = %d, want 200", avg[0])
+	}
+	if avg[1] != 2000 {
+		t.Errorf("class 1 avg = %d, want 2000", avg[1])
+	}
+	if p95[0] != 300 || p95[1] != 3000 {
+		t.Errorf("p95 = %d,%d", p95[0], p95[1])
+	}
+}
+
+func TestPercentilesEmptyClass(t *testing.T) {
+	avg, p95 := percentiles([][]uint64{{enc(0, 5)}}, 3)
+	if avg[1] != 0 || p95[2] != 0 {
+		t.Error("empty classes must report zero")
+	}
+}
+
+func enc(class int, lat uint64) uint64 { return uint64(class)<<56 | lat }

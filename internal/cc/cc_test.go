@@ -1,0 +1,202 @@
+package cc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAlgoProperties(t *testing.T) {
+	if TwoPL.MultiVersion() || OCC.MultiVersion() {
+		t.Error("single-version algo reports MultiVersion")
+	}
+	if !MV2PL.MultiVersion() || !MVOCC.MultiVersion() {
+		t.Error("MV algo does not report MultiVersion")
+	}
+	if MV2PL.Base() != TwoPL || MVTO.Base() != TO || MVOCC.Base() != OCC {
+		t.Error("Base mapping wrong")
+	}
+	if OCC.Base() != OCC {
+		t.Error("Base of single-version algo must be itself")
+	}
+	if len(All) != 6 {
+		t.Errorf("All has %d algorithms", len(All))
+	}
+}
+
+func TestTIDGenUniqueMonotonePerThread(t *testing.T) {
+	var g TIDGen
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		tid := g.Next(3)
+		if tid <= prev {
+			t.Fatal("TIDs not monotone")
+		}
+		if tid&0xFF != 3 {
+			t.Fatalf("thread id not embedded: %x", tid)
+		}
+		prev = tid
+	}
+}
+
+func TestTIDGenConcurrentUnique(t *testing.T) {
+	var g TIDGen
+	const workers, per = 8, 1000
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out[w] = append(out[w], g.Next(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, list := range out {
+		for _, tid := range list {
+			if seen[tid] {
+				t.Fatalf("duplicate TID %x", tid)
+			}
+			seen[tid] = true
+		}
+	}
+}
+
+func TestTIDGenRestore(t *testing.T) {
+	var g TIDGen
+	g.Restore(5000 << 8)
+	if tid := g.Next(0); tid <= 5000<<8 {
+		t.Fatalf("post-restore TID %x not beyond restored point", tid)
+	}
+	// Restore backwards must not rewind.
+	g.Restore(10 << 8)
+	if tid := g.Next(0); tid <= 5000<<8 {
+		t.Fatal("Restore rewound the clock")
+	}
+}
+
+func TestActiveSetMin(t *testing.T) {
+	s := NewActiveSet(4)
+	if s.Min() != math.MaxUint64 {
+		t.Fatal("empty set should report MaxUint64")
+	}
+	s.Set(0, 100)
+	s.Set(2, 50)
+	if s.Min() != 50 {
+		t.Fatalf("Min = %d", s.Min())
+	}
+	s.Clear(2)
+	if s.Min() != 100 {
+		t.Fatalf("Min after clear = %d", s.Min())
+	}
+}
+
+func TestTwoPLReadersBlockWriters(t *testing.T) {
+	var w atomic.Uint64
+	if !TryReadLock2PL(&w) || !TryReadLock2PL(&w) {
+		t.Fatal("shared read locks failed")
+	}
+	if TryWriteLock2PL(&w) {
+		t.Fatal("write lock acquired over readers")
+	}
+	ReadUnlock2PL(&w)
+	if TryUpgrade2PL(&w) != true {
+		t.Fatal("sole reader failed to upgrade")
+	}
+	if TryReadLock2PL(&w) {
+		t.Fatal("read lock acquired over writer")
+	}
+	WriteUnlock2PL(&w, 42)
+	if WTS2PL(w.Load()) != 42 || Locked(w.Load()) {
+		t.Fatalf("word after unlock = %x", w.Load())
+	}
+}
+
+func TestTwoPLUpgradeFailsWithTwoReaders(t *testing.T) {
+	var w atomic.Uint64
+	TryReadLock2PL(&w)
+	TryReadLock2PL(&w)
+	if TryUpgrade2PL(&w) {
+		t.Fatal("upgrade with a second reader present")
+	}
+}
+
+func TestTwoPLWriterExcludesWriter(t *testing.T) {
+	var w atomic.Uint64
+	if !TryWriteLock2PL(&w) {
+		t.Fatal("first write lock failed")
+	}
+	if TryWriteLock2PL(&w) {
+		t.Fatal("double write lock")
+	}
+	WriteUnlock2PLKeepTS(&w)
+	if Locked(w.Load()) {
+		t.Fatal("unlock left lock bit")
+	}
+}
+
+func TestTOLockPreservesVersionOnAbort(t *testing.T) {
+	var w atomic.Uint64
+	w.Store(77)
+	pre, ok := TryLockTO(&w)
+	if !ok || pre != 77 {
+		t.Fatalf("lock = %d,%v", pre, ok)
+	}
+	if _, ok := TryLockTO(&w); ok {
+		t.Fatal("double TO lock")
+	}
+	UnlockTOKeep(&w, pre)
+	if w.Load() != 77 {
+		t.Fatalf("abort path changed version to %d", w.Load())
+	}
+	pre, _ = TryLockTO(&w)
+	UnlockTO(&w, 99)
+	if WTSTO(w.Load()) != 99 {
+		t.Fatalf("commit path version = %d", w.Load())
+	}
+	_ = pre
+}
+
+func TestMaxTSMonotone(t *testing.T) {
+	var w atomic.Uint64
+	MaxTS(&w, 10)
+	MaxTS(&w, 5)
+	if w.Load() != 10 {
+		t.Fatalf("MaxTS regressed to %d", w.Load())
+	}
+	MaxTS(&w, 20)
+	if w.Load() != 20 {
+		t.Fatalf("MaxTS = %d", w.Load())
+	}
+}
+
+func TestConcurrentLockStress(t *testing.T) {
+	var w atomic.Uint64
+	var holders atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if TryWriteLock2PL(&w) {
+					if holders.Add(1) != 1 {
+						t.Error("two writers inside the lock")
+					}
+					holders.Add(-1)
+					WriteUnlock2PLKeepTS(&w)
+				} else if TryReadLock2PL(&w) {
+					if w.Load()&LockBit != 0 {
+						t.Error("reader co-resident with writer")
+					}
+					ReadUnlock2PL(&w)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+package cc
+
+import "sync/atomic"
+
+// Primitive lock/timestamp operations on a tuple's shadow metadata word.
+// All operations are lock-free CAS loops with no-wait semantics: they fail
+// immediately on conflict instead of blocking.
+
+// --- 2PL encoding ---
+
+// TryReadLock2PL increments the reader count unless a writer holds the word.
+func TryReadLock2PL(w *atomic.Uint64) bool {
+	for {
+		v := w.Load()
+		if v&LockBit != 0 {
+			return false
+		}
+		if w.CompareAndSwap(v, v+readerOne) {
+			return true
+		}
+	}
+}
+
+// ReadUnlock2PL releases one read lock.
+func ReadUnlock2PL(w *atomic.Uint64) {
+	w.Add(^uint64(readerOne - 1)) // subtract readerOne
+}
+
+// TryWriteLock2PL acquires the writer bit when there are no readers and no
+// writer.
+func TryWriteLock2PL(w *atomic.Uint64) bool {
+	for {
+		v := w.Load()
+		if v&(LockBit|readerMask) != 0 {
+			return false
+		}
+		if w.CompareAndSwap(v, v|LockBit) {
+			return true
+		}
+	}
+}
+
+// TryUpgrade2PL converts a read lock into a write lock when the caller is
+// the sole reader.
+func TryUpgrade2PL(w *atomic.Uint64) bool {
+	for {
+		v := w.Load()
+		if v&LockBit != 0 || v&readerMask != readerOne {
+			return false
+		}
+		if w.CompareAndSwap(v, (v-readerOne)|LockBit) {
+			return true
+		}
+	}
+}
+
+// WriteUnlock2PL clears the writer bit and installs the new writer TID.
+func WriteUnlock2PL(w *atomic.Uint64, newWTS uint64) {
+	w.Store(newWTS & WTSMask2PL)
+}
+
+// WriteUnlock2PLKeepTS clears the writer bit, keeping the old TID (abort
+// path).
+func WriteUnlock2PLKeepTS(w *atomic.Uint64) {
+	for {
+		v := w.Load()
+		if w.CompareAndSwap(v, v&^LockBit) {
+			return
+		}
+	}
+}
+
+// WTS2PL extracts the writer TID from a 2PL word.
+func WTS2PL(v uint64) uint64 { return v & WTSMask2PL }
+
+// --- TO / OCC encoding ---
+
+// TryLockTO sets the lock bit; it fails when already locked. It returns the
+// pre-lock word (the current version) on success.
+func TryLockTO(w *atomic.Uint64) (uint64, bool) {
+	for {
+		v := w.Load()
+		if v&LockBit != 0 {
+			return 0, false
+		}
+		if w.CompareAndSwap(v, v|LockBit) {
+			return v, true
+		}
+	}
+}
+
+// UnlockTO clears the lock bit, installing the new writer TID (commit) .
+func UnlockTO(w *atomic.Uint64, newWTS uint64) {
+	w.Store(newWTS & WTSMaskTO)
+}
+
+// UnlockTOKeep clears the lock bit, restoring the pre-lock version (abort).
+func UnlockTOKeep(w *atomic.Uint64, preLock uint64) {
+	w.Store(preLock & WTSMaskTO)
+}
+
+// WTSTO extracts the writer TID from a TO/OCC word.
+func WTSTO(v uint64) uint64 { return v & WTSMaskTO }
+
+// Locked reports whether a writer holds the word (any encoding).
+func Locked(v uint64) bool { return v&LockBit != 0 }
+
+// MaxTS advances a read-timestamp word to at least ts.
+func MaxTS(w *atomic.Uint64, ts uint64) {
+	for {
+		v := w.Load()
+		if v >= ts || w.CompareAndSwap(v, ts) {
+			return
+		}
+	}
+}

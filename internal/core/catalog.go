@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"falcon/internal/layout"
+	"falcon/internal/sim"
+)
+
+// The catalog (paper §5.1) records database metadata in NVM: table schemas,
+// the addresses of heaps, indexes and per-thread log windows. It is the first
+// thing recovery reads. Writes go through the simulated cache (durable under
+// persistent cache; explicitly flushed otherwise) at creation time only.
+
+const catalogMagic = 0xFA1C0CA7_00000002
+
+type catalogTable struct {
+	name         string
+	keyCol       int
+	secondaryCol int
+	indexKind    uint8
+	capacity     uint64
+	heapBase     uint64
+	priBase      uint64
+	secBase      uint64
+	schema       *layout.Schema
+}
+
+type catalogImage struct {
+	threads                      int
+	update                       UpdateScheme
+	windowSlots, windowSlotBytes int
+	windowOverflow               int
+	windowFlush                  bool
+	windowBase, markerBase       uint64
+	tables                       []catalogTable
+}
+
+func (e *Engine) writeCatalog(clk *sim.Clock) error {
+	buf := make([]byte, 0, 4096)
+	buf = binary.LittleEndian.AppendUint64(buf, catalogMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Threads))
+	buf = append(buf, byte(e.cfg.Update))
+	if e.cfg.Window.Flush {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Window.Slots))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Window.SlotBytes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Window.OverflowBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, e.windowBase)
+	buf = binary.LittleEndian.AppendUint64(buf, e.markerBase)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.tables)))
+	for _, t := range e.tables {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.name)))
+		buf = append(buf, t.name...)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(t.keyCol))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(t.secondaryCol))
+		buf = append(buf, byte(t.indexKind))
+		buf = binary.LittleEndian.AppendUint64(buf, t.capacity)
+		buf = binary.LittleEndian.AppendUint64(buf, t.heapBase)
+		buf = binary.LittleEndian.AppendUint64(buf, t.priBase)
+		buf = binary.LittleEndian.AppendUint64(buf, t.secBase)
+		buf = t.schema.AppendBinary(buf)
+	}
+	if len(buf)+8 > catalogBytes {
+		return fmt.Errorf("core: catalog needs %d bytes, region holds %d", len(buf), catalogBytes)
+	}
+	// Length prefix, then body; flushed so the catalog is durable even
+	// without persistent cache.
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], uint64(len(buf)))
+	e.nvm.Write(clk, catalogBase, lenb[:])
+	e.nvm.Write(clk, catalogBase+8, buf)
+	e.nvm.SFence(clk)
+	e.nvm.CLWB(clk, catalogBase, len(buf)+8)
+	e.nvm.SFence(clk)
+	return nil
+}
+
+func readCatalog(space interface {
+	Read(*sim.Clock, uint64, []byte)
+}, clk *sim.Clock) (*catalogImage, error) {
+	var lenb [8]byte
+	space.Read(clk, catalogBase, lenb[:])
+	n := binary.LittleEndian.Uint64(lenb[:])
+	if n == 0 || n > catalogBytes {
+		return nil, errors.New("core: no catalog found (was the engine ever created?)")
+	}
+	buf := make([]byte, n)
+	space.Read(clk, catalogBase+8, buf)
+	if binary.LittleEndian.Uint64(buf) != catalogMagic {
+		return nil, errors.New("core: catalog magic mismatch")
+	}
+	img := &catalogImage{}
+	pos := 8
+	img.threads = int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	img.update = UpdateScheme(buf[pos])
+	pos++
+	img.windowFlush = buf[pos] != 0
+	pos++
+	img.windowSlots = int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	img.windowSlotBytes = int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	img.windowOverflow = int(binary.LittleEndian.Uint32(buf[pos:]))
+	pos += 4
+	img.windowBase = binary.LittleEndian.Uint64(buf[pos:])
+	pos += 8
+	img.markerBase = binary.LittleEndian.Uint64(buf[pos:])
+	pos += 8
+	ntables := int(binary.LittleEndian.Uint16(buf[pos:]))
+	pos += 2
+	for i := 0; i < ntables; i++ {
+		var ct catalogTable
+		nameLen := int(binary.LittleEndian.Uint16(buf[pos:]))
+		pos += 2
+		ct.name = string(buf[pos : pos+nameLen])
+		pos += nameLen
+		ct.keyCol = int(binary.LittleEndian.Uint16(buf[pos:]))
+		pos += 2
+		ct.secondaryCol = int(binary.LittleEndian.Uint16(buf[pos:]))
+		pos += 2
+		ct.indexKind = buf[pos]
+		pos++
+		ct.capacity = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		ct.heapBase = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		ct.priBase = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		ct.secBase = binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		sch, consumed, err := layout.DecodeSchema(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("core: catalog table %d: %w", i, err)
+		}
+		pos += consumed
+		ct.schema = sch
+		img.tables = append(img.tables, ct)
+	}
+	return img, nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+
+	"falcon/internal/cc"
+	"falcon/internal/index"
+	"falcon/internal/wal"
+)
+
+// ErrRollback is the caller-requested abort: Engine.Run aborts the
+// transaction and returns ErrRollback without retrying (TPC-C NewOrder's 1%
+// intentional rollbacks use this).
+var ErrRollback = errors.New("core: rollback requested")
+
+// Commit finishes the transaction. On ErrConflict the transaction is left
+// for the caller to Abort (Engine.Run does this automatically).
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return errors.New("core: commit on finished transaction")
+	}
+	if tx.ro || (len(tx.writes) == 0 && len(tx.inserts) == 0) {
+		tx.releaseLocksKeep()
+		tx.finish(true)
+		return nil
+	}
+	if tx.e.cfg.Update == OutOfPlace {
+		return tx.commitOutOfPlace()
+	}
+	return tx.commitInPlace()
+}
+
+// commitInPlace is the paper's Algorithm 1: validate (OCC), publish old
+// versions (MVCC), mark the write set COMMITTED (the durable point), apply
+// the updates in place, fence, then run the selective data flush.
+func (tx *Txn) commitInPlace() error {
+	if tx.log.Full() {
+		return ErrTxnTooLarge
+	}
+	if tx.e.cfg.CC.Base() == cc.OCC {
+		if !tx.occValidate() {
+			return ErrConflict
+		}
+	}
+	tx.publishVersions()
+
+	// Durable commit point (Algorithm 1 line 2 + the write-set contents
+	// already in the window).
+	tx.log.Commit(tx.clk)
+
+	// Apply in log order so later ops override earlier ones.
+	apply := tx.applyOrder()
+	touched := make(map[*Table]map[uint64]struct{}, 2)
+	markTouched := func(t *Table, slot uint64) {
+		m := touched[t]
+		if m == nil {
+			m = make(map[uint64]struct{}, 4)
+			touched[t] = m
+		}
+		m[slot] = struct{}{}
+	}
+	for _, a := range apply {
+		if a.ins != nil {
+			tx.applyInsert(a.ins)
+			markTouched(a.ins.t, a.ins.slot)
+			continue
+		}
+		w := a.w
+		switch w.kind {
+		case wal.OpUpdate:
+			op, _ := tx.log.ReadOp(tx.clk, w.logPos)
+			w.t.heap.WriteRange(tx.clk, w.slot, w.off, op.Data)
+			markTouched(w.t, w.slot)
+		case wal.OpDelete:
+			tx.applyDelete(w)
+		}
+	}
+	// Durable writer timestamps, one per touched slot.
+	for t, slots := range touched {
+		for slot := range slots {
+			t.heap.WriteTS(tx.clk, slot, tx.tid)
+		}
+	}
+	tx.e.nvm.SFence(tx.clk) // Algorithm 1 line 7
+
+	tx.selectiveFlush(apply)
+	tx.releaseLocksCommitted()
+	tx.finish(true)
+	return nil
+}
+
+type applyEntry struct {
+	pos int
+	w   *writeOp
+	ins *insertOp
+}
+
+func (tx *Txn) applyOrder() []applyEntry {
+	out := make([]applyEntry, 0, len(tx.writes)+len(tx.inserts))
+	for i := range tx.writes {
+		out = append(out, applyEntry{pos: tx.writes[i].logPos, w: &tx.writes[i]})
+	}
+	for i := range tx.inserts {
+		out = append(out, applyEntry{pos: tx.inserts[i].logPos, ins: &tx.inserts[i]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func (tx *Txn) applyInsert(ins *insertOp) {
+	t := ins.t
+	var payload []byte
+	if tx.e.cfg.Update == InPlace {
+		op, _ := tx.log.ReadOp(tx.clk, ins.logPos)
+		payload = op.Data
+	} else {
+		payload = ins.data
+	}
+	t.heap.WritePayload(tx.clk, ins.slot, payload)
+	t.heap.SetOccupied(tx.clk, ins.slot)
+	t.heap.WriteTS(tx.clk, ins.slot, tx.tid)
+	// Initialize the shadow word so future readers see our TID as writer.
+	lock, _ := t.heap.Meta(ins.slot)
+	if tx.e.cfg.CC.Base() == cc.TwoPL {
+		lock.Store(tx.tid & cc.WTSMask2PL)
+	} else {
+		lock.Store(tx.tid & cc.WTSMaskTO)
+	}
+	t.primary.Insert(tx.clk, ins.key, ins.slot) // unique: reservation held
+	if t.secondary != nil {
+		secKey := t.schema.GetUint64(payload, t.secondaryCol)
+		t.secondary.Insert(tx.clk, secKey, ins.slot)
+	}
+	tx.e.resv.release(tx.clk, t.id, ins.key)
+	if tx.e.tcache != nil {
+		tx.e.tcache.put(tx.clk, t.id, ins.key, payload)
+	}
+}
+
+func (tx *Txn) applyDelete(w *writeOp) {
+	t := w.t
+	// The durable timestamp is the deleting TID (replay guard); the reclaim
+	// horizon is a fresh TID so in-flight readers that resolved this slot
+	// drain before it is recycled.
+	t.heap.Retire(tx.clk, w.slot, tx.tid, tx.e.gen.Next(tx.worker), false)
+	t.primary.Delete(tx.clk, w.key)
+	if t.secondary != nil {
+		t.secondary.Delete(tx.clk, w.secKey)
+	}
+	if tx.e.tcache != nil {
+		tx.e.tcache.invalidate(tx.clk, t.id, w.key)
+	}
+}
+
+// selectiveFlush implements §4.4 / Algorithm 1 lines 8-11: hinted flushes
+// (<sfence already issued> + clwb over the touched contiguous ranges),
+// skipping hot tuples under FlushSelective.
+func (tx *Txn) selectiveFlush(apply []applyEntry) {
+	policy := tx.e.cfg.Flush
+	if policy == FlushNone {
+		return
+	}
+	hot := tx.e.hot[tx.worker]
+	for _, a := range apply {
+		var t *Table
+		var slot uint64
+		var off, n int
+		switch {
+		case a.ins != nil:
+			t, slot, off, n = a.ins.t, a.ins.slot, 0, a.ins.t.schema.TupleSize()
+		case a.w.kind == wal.OpUpdate:
+			t, slot, off, n = a.w.t, a.w.slot, a.w.off, a.w.n
+		default: // delete: header-only change
+			t, slot, off, n = a.w.t, a.w.slot, 0, 0
+		}
+		if policy == FlushSelective {
+			if hot.contains(tx.clk, t.id, slot) {
+				continue // hot tuples are never manually flushed
+			}
+			hot.add(tx.clk, t.id, slot)
+		}
+		t.heap.CLWBSlot(tx.clk, slot, off, n)
+	}
+}
+
+// publishVersions copies the pre-images of updated/deleted tuples into the
+// DRAM version heap before they are overwritten (in-place MVCC, §5.2.3).
+func (tx *Txn) publishVersions() {
+	if !tx.e.cfg.CC.MultiVersion() {
+		return
+	}
+	seen := make(map[*Table]map[uint64]struct{}, 2)
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		m := seen[w.t]
+		if m == nil {
+			m = make(map[uint64]struct{}, 4)
+			seen[w.t] = m
+		}
+		if _, dup := m[w.slot]; dup {
+			continue
+		}
+		m[w.slot] = struct{}{}
+		lock, _ := w.t.heap.Meta(w.slot)
+		beginTS := tx.e.wtsOf(lock.Load())
+		scratch := tx.e.scratchFor(tx.worker, w.t.schema.TupleSize())
+		w.t.heap.ReadPayload(tx.clk, w.slot, scratch)
+		w.t.versions.Publish(tx.clk, tx.worker, w.slot, beginTS, tx.tid, scratch)
+	}
+}
+
+// occValidate locks the write set and checks that every read version is
+// unchanged (Silo-style; no-wait on conflicts).
+func (tx *Txn) occValidate() bool {
+	// Lock every written slot (validation locks are recorded as lockRefs so
+	// the common release/abort paths apply).
+	for i := range tx.occIntents {
+		m := &tx.occIntents[i]
+		lock, _ := m.t.heap.Meta(m.slot)
+		pre, ok := cc.TryLockTO(lock)
+		if !ok {
+			return false
+		}
+		tx.locks = append(tx.locks, lockRef{t: m.t, slot: m.slot, pre: pre})
+		if liveErr(m.t, tx.clk, m.slot) != nil {
+			return false // superseded or deleted while we ran
+		}
+	}
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		lock, _ := r.t.heap.Meta(r.slot)
+		cur := lock.Load()
+		if cur == r.word {
+			continue
+		}
+		// Changed: acceptable only if the lock is ours and the version
+		// matches what we read.
+		if cc.Locked(cur) && cc.WTSTO(cur) == cc.WTSTO(r.word) && tx.selfLocked(r.t, r.slot) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (tx *Txn) selfLocked(t *Table, slot uint64) bool {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		if l.t == t && l.slot == slot && !l.shared {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseLocksKeep releases every held lock, preserving the pre-lock writer
+// timestamps (read-only commit and abort paths).
+func (tx *Txn) releaseLocksKeep() {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		lock, _ := l.t.heap.Meta(l.slot)
+		switch {
+		case l.shared:
+			cc.ReadUnlock2PL(lock)
+		case tx.e.cfg.CC.Base() == cc.TwoPL:
+			cc.WriteUnlock2PLKeepTS(lock)
+		default:
+			cc.UnlockTOKeep(lock, l.pre)
+		}
+	}
+	tx.locks = tx.locks[:0]
+}
+
+// releaseLocksCommitted installs the new writer TID and releases every lock.
+func (tx *Txn) releaseLocksCommitted() {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		lock, _ := l.t.heap.Meta(l.slot)
+		if l.shared {
+			cc.ReadUnlock2PL(lock)
+			continue
+		}
+		if tx.e.cfg.CC.Base() == cc.TwoPL {
+			cc.WriteUnlock2PL(lock, tx.tid)
+		} else {
+			cc.UnlockTO(lock, tx.tid)
+		}
+	}
+	tx.locks = tx.locks[:0]
+}
+
+// Abort rolls back: locks release with their prior versions, reserved keys
+// free, pre-allocated insert slots recycle, and the log record is discarded.
+func (tx *Txn) Abort() {
+	if tx.done {
+		return
+	}
+	if tx.log != nil {
+		tx.log.Abort(tx.clk)
+	}
+	tx.releaseLocksKeep()
+	for i := range tx.inserts {
+		ins := &tx.inserts[i]
+		tx.e.resv.release(tx.clk, ins.t.id, ins.key)
+		// The pre-allocated slot was never published; recycle it at once.
+		ins.t.heap.Retire(tx.clk, ins.slot, 0, 0, false)
+	}
+	tx.clk.Advance(tx.e.sys.Cost().AbortOverhead)
+	tx.finish(false)
+}
+
+func (tx *Txn) finish(committed bool) {
+	tx.e.active.Clear(tx.worker)
+	if committed {
+		tx.e.commits.Add(1)
+	} else {
+		tx.e.aborts.Add(1)
+	}
+	// Version-heap GC piggybacks on worker threads (§5.4: no dedicated
+	// recycling threads).
+	if tx.e.cfg.CC.MultiVersion() && committed {
+		min := tx.e.active.Min()
+		for _, t := range tx.e.tables {
+			if t.versions != nil {
+				t.versions.MaybeGC(tx.clk, tx.worker, min)
+			}
+		}
+	}
+	tx.done = true
+}
+
+// Run executes fn inside a transaction on worker's thread, retrying on
+// conflicts. fn may return ErrRollback to abort without retry.
+func (e *Engine) Run(worker int, fn func(*Txn) error) error {
+	for {
+		tx := e.Begin(worker)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if errors.Is(err, ErrConflict) {
+			runtime.Gosched() // break retry lockstep between workers
+			continue
+		}
+		return err
+	}
+}
+
+// RunRO executes fn inside a read-only transaction, retrying on conflicts.
+func (e *Engine) RunRO(worker int, fn func(*Txn) error) error {
+	for {
+		tx := e.BeginRO(worker)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if errors.Is(err, ErrConflict) {
+			runtime.Gosched()
+			continue
+		}
+		return err
+	}
+}
+
+// Scan iterates tuples with primary key >= from in key order, invoking fn
+// with the key and a scratch payload (valid only during the call), until fn
+// returns false or limit tuples have been visited (limit <= 0 means no
+// limit). The primary index must be a btree.
+func (tx *Txn) Scan(t *Table, from uint64, limit int, fn func(key uint64, payload []byte) bool) (int, error) {
+	return tx.scanIndex(t, t.primary, from, limit, fn)
+}
+
+// ScanSecondary iterates via the secondary index.
+func (tx *Txn) ScanSecondary(t *Table, from uint64, limit int, fn func(secKey uint64, payload []byte) bool) (int, error) {
+	if t.secondary == nil {
+		return 0, index.ErrUnordered
+	}
+	return tx.scanIndex(t, t.secondary, from, limit, fn)
+}
+
+func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn func(uint64, []byte) bool) (int, error) {
+	// A private buffer: fn may issue reads that use the worker scratch.
+	scratch := make([]byte, t.schema.TupleSize())
+	visited := 0
+	var scanErr error
+	err := idx.Scan(tx.clk, from, func(key, slot uint64) bool {
+		if limit > 0 && visited >= limit {
+			return false
+		}
+		if err := tx.readSlot(t, key, slot, scratch); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				return true // concurrently deleted; skip
+			}
+			scanErr = err
+			return false
+		}
+		visited++
+		return fn(key, scratch)
+	})
+	if err != nil {
+		return visited, err
+	}
+	return visited, scanErr
+}
+
+// readSlot performs the CC read of an already-resolved slot (scan path).
+func (tx *Txn) readSlot(t *Table, key, slot uint64, dst []byte) error {
+	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
+	return tx.readResolved(t, key, slot, 0, t.schema.TupleSize(), dst)
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"falcon/internal/alloc"
+	"falcon/internal/cc"
+	"falcon/internal/heap"
+	"falcon/internal/index"
+	"falcon/internal/layout"
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+	"falcon/internal/version"
+	"falcon/internal/wal"
+)
+
+// catalogBase/catalogBytes fix the persistent catalog region right after the
+// arena header; the catalog is the recovery entry point (§5.1).
+const (
+	catalogBase  = alloc.HeaderBytes
+	catalogBytes = 256 << 10
+	arenaStart   = catalogBase + catalogBytes
+)
+
+// Engine is one OLTP storage engine instance over a simulated memory system.
+// The Config decides which of the paper's engines it behaves as.
+type Engine struct {
+	cfg   Config
+	sys   *pmem.System
+	nvm   pmem.Space
+	arena *alloc.Arena
+
+	dram     *pmem.DRAMSpace
+	dramNext uint64 // bump allocator over dram
+
+	tables []*Table
+	byName map[string]*Table
+
+	windowBase uint64
+	markerBase uint64
+	windows    []*wal.Window
+
+	gen    cc.TIDGen
+	active *cc.ActiveSet
+	hot    []*hotSet
+	tcache *tupleCache
+	resv   *reservations
+
+	clocks  []*sim.Clock
+	scratch []workerScratch
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// workerScratch is a per-worker reusable payload buffer, padded against
+// false sharing.
+type workerScratch struct {
+	buf []byte
+	_   [5]uint64
+}
+
+// Table is one relation: a tuple heap plus its indexes and (for MVCC) the
+// DRAM version store.
+type Table struct {
+	e            *Engine
+	id           uint8
+	name         string
+	schema       *layout.Schema
+	keyCol       int
+	secondaryCol int
+	capacity     uint64
+
+	heap      *heap.Heap
+	primary   index.Index
+	secondary index.Index
+	versions  *version.Store
+
+	heapBase, priBase, secBase uint64
+	indexKind                  index.Kind
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the tuple layout.
+func (t *Table) Schema() *layout.Schema { return t.schema }
+
+// Heap exposes the underlying tuple heap (diagnostics and tests).
+func (t *Table) Heap() *heap.Heap { return t.heap }
+
+// ErrTableFull is returned when a table cannot hold more tuples.
+var ErrTableFull = errors.New("core: table full")
+
+// New creates an engine with the given tables on a fresh memory system.
+func New(sys *pmem.System, cfg Config, specs []TableSpec) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		sys:    sys,
+		nvm:    sys.Space,
+		byName: make(map[string]*Table, len(specs)),
+		active: cc.NewActiveSet(cfg.Threads),
+		resv:   newReservations(sys.Cost()),
+	}
+	var err error
+	e.arena, err = NewEngineArena(sys)
+	if err != nil {
+		return nil, err
+	}
+	e.initWorkers()
+
+	clk := sim.NewClock() // setup costs are not attributed to workers
+	// Per-thread log windows (in-place engines) and commit markers
+	// (out-of-place engines) are allocated for every engine so the layout is
+	// uniform.
+	winBytes := wal.BytesNeeded(cfg.Window)
+	e.windowBase, err = e.arena.Alloc(clk, winBytes*uint64(cfg.Threads), 64)
+	if err != nil {
+		return nil, err
+	}
+	e.markerBase, err = e.arena.Alloc(clk, 64*uint64(cfg.Threads), 64)
+	if err != nil {
+		return nil, err
+	}
+	e.windows = make([]*wal.Window, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		e.windows[t] = wal.NewWindow(e.nvm, e.windowBase+uint64(t)*winBytes, cfg.Window)
+		var zero [8]byte
+		e.nvm.BulkWrite(e.markerBase+64*uint64(t), zero[:])
+	}
+
+	for _, spec := range specs {
+		if _, err := e.createTable(clk, spec); err != nil {
+			return nil, fmt.Errorf("core: table %q: %w", spec.Name, err)
+		}
+	}
+	if err := e.writeCatalog(clk); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewEngineArena formats the engine's space arena (header + catalog region
+// reserved).
+func NewEngineArena(sys *pmem.System) (*alloc.Arena, error) {
+	return alloc.NewArena(sys.Space, 0, arenaStart, sys.Space.Size())
+}
+
+func (e *Engine) initWorkers() {
+	e.clocks = make([]*sim.Clock, e.cfg.Threads)
+	e.hot = make([]*hotSet, e.cfg.Threads)
+	e.scratch = make([]workerScratch, e.cfg.Threads)
+	for i := range e.clocks {
+		e.clocks[i] = sim.NewClock()
+		e.hot[i] = newHotSet(e.cfg.HotTupleCap, e.sys.Cost())
+	}
+}
+
+// scratchFor returns worker's reusable buffer of at least n bytes. Callers
+// must finish with it before the next engine call on the same worker.
+func (e *Engine) scratchFor(worker, n int) []byte {
+	s := &e.scratch[worker]
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	return s.buf[:n]
+}
+
+// dramAlloc carves a region out of the engine's DRAM space, creating it on
+// first use.
+func (e *Engine) dramAlloc(n uint64) (uint64, error) {
+	if e.dram == nil {
+		e.dram = pmem.NewDRAMSpace(e.cfg.DRAMBytes, e.sys.Cost())
+	}
+	off := (e.dramNext + 63) &^ 63
+	if off+n > e.dram.Size() {
+		return 0, fmt.Errorf("core: DRAM space exhausted (need %d at %d)", n, off)
+	}
+	e.dramNext = off + n
+	return off, nil
+}
+
+func (e *Engine) createTable(clk *sim.Clock, spec TableSpec) (*Table, error) {
+	if len(e.tables) >= 250 {
+		return nil, errors.New("core: too many tables")
+	}
+	if spec.Schema == nil || spec.Capacity == 0 {
+		return nil, errors.New("core: table spec needs schema and capacity")
+	}
+	if spec.KeyCol < 0 || spec.KeyCol >= spec.Schema.NumColumns() {
+		return nil, errors.New("core: bad key column")
+	}
+	t := &Table{
+		e:            e,
+		id:           uint8(len(e.tables)),
+		name:         spec.Name,
+		schema:       spec.Schema,
+		keyCol:       spec.KeyCol,
+		secondaryCol: spec.SecondaryCol,
+		capacity:     spec.Capacity,
+		indexKind:    spec.IndexKind,
+	}
+	slots := spec.Capacity
+	if e.cfg.Update == OutOfPlace {
+		slots *= uint64(e.cfg.VersionHeadroom)
+		// Hot tiny tables (TPC-C warehouse/district) churn versions far
+		// faster than proportional headroom suggests; guarantee a working
+		// set of stale versions per thread.
+		if min := uint64(e.cfg.Threads) * 128; slots < min {
+			slots = min
+		}
+	}
+	hcfg := heap.Config{SlotSize: spec.Schema.TupleSize(), NSlots: slots, NThreads: e.cfg.Threads}
+	var err error
+	t.heapBase, err = e.arena.Alloc(clk, heap.BytesNeeded(hcfg), 64)
+	if err != nil {
+		return nil, err
+	}
+	t.heap, err = heap.New(e.nvm, t.heapBase, hcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index capacity covers live tuples only (in-place) since stale
+	// versions are removed from the index at update time.
+	idxCap := spec.Capacity * 11 / 10
+	t.primary, t.priBase, err = e.buildIndex(clk, spec.IndexKind, idxCap)
+	if err != nil {
+		return nil, err
+	}
+	if t.secondaryCol > 0 {
+		t.secondary, t.secBase, err = e.buildIndex(clk, index.BTree, idxCap)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if e.cfg.CC.MultiVersion() {
+		t.versions = version.NewStore(t.heap.NSlots(), e.cfg.Threads, e.sys.Cost())
+	}
+	if e.cfg.TupleCacheBytes > 0 {
+		e.ensureTupleCache(spec.Schema.TupleSize())
+	}
+
+	e.tables = append(e.tables, t)
+	e.byName[spec.Name] = t
+	return t, nil
+}
+
+func (e *Engine) ensureTupleCache(slotBytes int) {
+	if e.tcache == nil || e.tcache.slotBytes < slotBytes {
+		e.tcache = newTupleCache(e.cfg.TupleCacheBytes, slotBytes, e.sys.Cost())
+	}
+}
+
+// buildIndex places an index on NVM or DRAM per the configuration.
+func (e *Engine) buildIndex(clk *sim.Clock, kind index.Kind, capacity uint64) (index.Index, uint64, error) {
+	var bytes uint64
+	if kind == index.Hash {
+		bytes = index.HashBytes(capacity)
+	} else {
+		bytes = index.BTreeBytes(capacity)
+	}
+	if e.cfg.Index == IndexDRAM {
+		off, err := e.dramAlloc(bytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		idx, err := e.newIndexOn(e.dram, off, kind, capacity)
+		return idx, off, err
+	}
+	off, err := e.arena.Alloc(clk, bytes, 64)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, err := e.newIndexOn(e.nvm, off, kind, capacity)
+	return idx, off, err
+}
+
+func (e *Engine) newIndexOn(space pmem.Space, off uint64, kind index.Kind, capacity uint64) (index.Index, error) {
+	if kind == index.Hash {
+		return index.NewHash(space, off, capacity)
+	}
+	return index.NewBTree(space, off, capacity)
+}
+
+// Table returns a table by name.
+func (e *Engine) Table(name string) *Table { return e.byName[name] }
+
+// Tables returns all tables in id order.
+func (e *Engine) Tables() []*Table { return e.tables }
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// System returns the underlying simulated memory system.
+func (e *Engine) System() *pmem.System { return e.sys }
+
+// Clock returns worker w's virtual clock.
+func (e *Engine) Clock(worker int) *sim.Clock { return e.clocks[worker] }
+
+// Clocks returns all worker clocks (throughput accounting).
+func (e *Engine) Clocks() []*sim.Clock { return e.clocks }
+
+// ResetClocks rewinds all worker clocks (between benchmark phases).
+func (e *Engine) ResetClocks() {
+	for _, c := range e.clocks {
+		c.Reset()
+	}
+}
+
+// Commits returns the number of committed transactions.
+func (e *Engine) Commits() uint64 { return e.commits.Load() }
+
+// Aborts returns the number of aborted transaction attempts.
+func (e *Engine) Aborts() uint64 { return e.aborts.Load() }
+
+// ResetCounters zeroes the commit/abort counters.
+func (e *Engine) ResetCounters() {
+	e.commits.Store(0)
+	e.aborts.Store(0)
+}
+
+// MinActive returns the oldest running TID (MaxUint64 when idle); exported
+// for tests exercising GC behaviour.
+func (e *Engine) MinActive() uint64 { return e.active.Min() }
+
+// Sync flushes all dirty simulated state to the media (clean shutdown).
+func (e *Engine) Sync(clk *sim.Clock) { e.sys.Sync(clk) }
+
+// BulkIndexInsert installs an index entry during initial data load, charging
+// no worker clock (pass nil clocks through; sim.Clock methods are nil-safe).
+func (t *Table) BulkIndexInsert(key, slot uint64) error {
+	if err := t.primary.Insert(nil, key, slot); err != nil {
+		return fmt.Errorf("primary %v: %w", t.primary.Kind(), err)
+	}
+	if t.secondary != nil {
+		scratch := make([]byte, 8)
+		t.heap.ReadRange(nil, slot, t.schema.Offset(t.secondaryCol), scratch)
+		if err := t.secondary.Insert(nil, leU64(scratch), slot); err != nil {
+			return fmt.Errorf("secondary key %#x: %w", leU64(scratch), err)
+		}
+	}
+	return nil
+}

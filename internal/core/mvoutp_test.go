@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"falcon/internal/cc"
+	"falcon/internal/index"
+	"falcon/internal/pmem"
+)
+
+// TestOutpMVSnapshotChurn exercises snapshot readers racing out-of-place
+// writers (the chain-migration path) — a regression test for the stale
+// invalidated-slot livelock.
+func TestOutpMVSnapshotChurn(t *testing.T) {
+	for _, algo := range []cc.Algo{cc.MV2PL, cc.MVTO, cc.MVOCC} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := OutpConfig()
+			cfg.CC = algo
+			cfg.Threads = 4
+			sys := pmem.NewSystem(pmem.Config{DeviceBytes: 256 << 20})
+			e, err := New(sys, cfg, kvSpec(index.Hash, 2000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := e.Table("kv")
+			s := tbl.Schema()
+			for k := uint64(0); k < 16; k++ {
+				if err := e.Run(int(k)%4, func(tx *Txn) error {
+					return tx.Insert(tbl, k, encodeKV(s, k, 1))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					buf := make([]byte, s.TupleSize())
+					for i := 0; i < 500; i++ {
+						k := uint64(i % 16)
+						var err error
+						if w%2 == 0 { // writer
+							err = e.Run(w, func(tx *Txn) error {
+								var b [8]byte
+								layoutPutI64(b[:], int64(i))
+								return tx.UpdateField(tbl, k, 1, b[:])
+							})
+						} else { // snapshot reader
+							err = e.RunRO(w, func(tx *Txn) error {
+								return tx.Read(tbl, k, buf)
+							})
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/cc"
+	"falcon/internal/index"
+	"falcon/internal/pmem"
+)
+
+// quickKVModel drives an engine with a random committed-op sequence and
+// checks it against a map reference — both live and across a crash.
+func quickKVModel(t *testing.T, cfg Config) {
+	t.Helper()
+	f := func(seed int64) bool {
+		cfg := cfg
+		cfg.Threads = 2
+		sys := pmem.NewSystem(pmem.Config{DeviceBytes: 128 << 20})
+		e, err := New(sys, cfg, kvSpec(index.Hash, 4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := e.Table("kv")
+		s := tbl.Schema()
+		rng := rand.New(rand.NewSource(seed))
+		ref := map[uint64]int64{}
+
+		for i := 0; i < 200; i++ {
+			k := uint64(rng.Intn(60))
+			w := rng.Intn(10)
+			_, exists := ref[k]
+			switch {
+			case w < 4 && !exists: // insert
+				v := int64(rng.Intn(1 << 30))
+				if err := e.Run(i%2, func(tx *Txn) error {
+					return tx.Insert(tbl, k, encodeKV(s, k, v))
+				}); err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				ref[k] = v
+			case w < 7 && exists: // update
+				v := int64(rng.Intn(1 << 30))
+				if err := e.Run(i%2, func(tx *Txn) error {
+					var b [8]byte
+					layoutPutI64(b[:], v)
+					return tx.UpdateField(tbl, k, 1, b[:])
+				}); err != nil {
+					t.Fatalf("update: %v", err)
+				}
+				ref[k] = v
+			case w < 8 && exists: // delete
+				if err := e.Run(i%2, func(tx *Txn) error { return tx.Delete(tbl, k) }); err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				delete(ref, k)
+			default: // read and verify live state
+				buf := make([]byte, s.TupleSize())
+				err := e.RunRO(i%2, func(tx *Txn) error { return tx.Read(tbl, k, buf) })
+				if exists {
+					if err != nil || s.GetInt64(buf, 1) != ref[k] {
+						return false
+					}
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+		}
+
+		e2, _, err := Recover(e.System().Crash(), cfg)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		tbl2 := e2.Table("kv")
+		buf := make([]byte, s.TupleSize())
+		for k := uint64(0); k < 60; k++ {
+			err := e2.RunRO(0, func(tx *Txn) error { return tx.Read(tbl2, k, buf) })
+			if v, live := ref[k]; live {
+				if err != nil || s.GetInt64(buf, 1) != v {
+					return false
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKVModelFalcon(t *testing.T) { quickKVModel(t, FalconConfig()) }
+func TestQuickKVModelInp(t *testing.T)    { quickKVModel(t, InpConfig()) }
+func TestQuickKVModelOutp(t *testing.T)   { quickKVModel(t, OutpConfig()) }
+func TestQuickKVModelZenS(t *testing.T)   { quickKVModel(t, ZenSConfig()) }
+func TestQuickKVModelMVFalcon(t *testing.T) {
+	cfg := FalconConfig()
+	cfg.CC = cc.MV2PL
+	quickKVModel(t, cfg)
+}

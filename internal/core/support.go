@@ -1,0 +1,248 @@
+package core
+
+import (
+	"sync"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+// hotSet is the per-thread hot-tuple LRU used by selective data flush
+// (§4.4): tuples present in the set are never manually flushed, so their
+// dirty lines stay in the (persistent) cache until natural eviction —
+// which for genuinely hot tuples means almost never.
+//
+// It is single-owner (one worker thread), so it needs no locking. The
+// capacity is small (the paper uses "a small LRU cache"), so eviction by
+// linear scan is cheap on the host; the virtual cost charged is one DRAM
+// access per operation.
+type hotSet struct {
+	cap  int
+	seq  uint64
+	m    map[hotKey]uint64 // key -> last-touch sequence
+	cost sim.CostModel
+}
+
+type hotKey struct {
+	table uint8
+	slot  uint64
+}
+
+func newHotSet(capacity int, cost sim.CostModel) *hotSet {
+	return &hotSet{cap: capacity, m: make(map[hotKey]uint64, capacity+1), cost: cost}
+}
+
+// contains reports whether the tuple is tracked hot, refreshing its
+// recency when present (Algorithm 1 line 9).
+func (h *hotSet) contains(clk *sim.Clock, table uint8, slot uint64) bool {
+	clk.Advance(h.cost.DRAMFirstLine)
+	k := hotKey{table, slot}
+	if _, ok := h.m[k]; ok {
+		h.seq++
+		h.m[k] = h.seq
+		return true
+	}
+	return false
+}
+
+// add tracks the tuple, evicting the least recently used entry when full
+// (Algorithm 1 line 11).
+func (h *hotSet) add(clk *sim.Clock, table uint8, slot uint64) {
+	clk.Advance(h.cost.DRAMFirstLine)
+	h.seq++
+	h.m[hotKey{table, slot}] = h.seq
+	if len(h.m) <= h.cap {
+		return
+	}
+	var victim hotKey
+	min := h.seq + 1
+	for k, s := range h.m {
+		if s < min {
+			min, victim = s, k
+		}
+	}
+	delete(h.m, victim)
+}
+
+// reservations provides short-lived key latches for inserts: a transaction
+// reserves (table, key) before buffering the insert, guaranteeing that the
+// index insert performed after the durable commit point can never hit a
+// duplicate. Reservations are volatile by design — after a crash no
+// transaction is mid-insert.
+type reservations struct {
+	shards [64]resShard
+	cost   sim.CostModel
+}
+
+type resShard struct {
+	mu sync.Mutex
+	m  map[resKey]struct{}
+}
+
+type resKey struct {
+	table uint8
+	key   uint64
+}
+
+func newReservations(cost sim.CostModel) *reservations {
+	r := &reservations{cost: cost}
+	for i := range r.shards {
+		r.shards[i].m = make(map[resKey]struct{})
+	}
+	return r
+}
+
+func (r *reservations) shard(k resKey) *resShard {
+	return &r.shards[(k.key^uint64(k.table))&63]
+}
+
+// tryReserve claims (table, key), failing if another in-flight transaction
+// holds it.
+func (r *reservations) tryReserve(clk *sim.Clock, table uint8, key uint64) bool {
+	clk.Advance(r.cost.DRAMFirstLine)
+	k := resKey{table, key}
+	s := r.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, taken := s.m[k]; taken {
+		return false
+	}
+	s.m[k] = struct{}{}
+	return true
+}
+
+// release frees a reservation.
+func (r *reservations) release(clk *sim.Clock, table uint8, key uint64) {
+	clk.Advance(r.cost.DRAMFirstLine)
+	k := resKey{table, key}
+	s := r.shard(k)
+	s.mu.Lock()
+	delete(s.m, k)
+	s.mu.Unlock()
+}
+
+// tupleCache is the ZenS-style DRAM tuple cache: recently read tuples are
+// kept in volatile memory so repeated reads skip NVM. Entries are keyed by
+// (table, primary key), so they stay valid across out-of-place relocations;
+// committed updates refresh the entry.
+//
+// Payloads live in a DRAMSpace so hits charge realistic DRAM/cache costs.
+// Eviction is per-shard CLOCK.
+type tupleCache struct {
+	space     *pmem.DRAMSpace
+	slotBytes int
+	perShard  int
+	shards    [64]tcShard
+	cost      sim.CostModel
+}
+
+type tcShard struct {
+	mu   sync.Mutex
+	m    map[uint64]int // packed key -> entry index within shard
+	keys []uint64       // entry -> packed key (0 = free)
+	ref  []bool
+	hand int
+}
+
+func newTupleCache(totalBytes, slotBytes int, cost sim.CostModel) *tupleCache {
+	if slotBytes < 64 {
+		slotBytes = 64
+	}
+	entries := totalBytes / slotBytes
+	perShard := entries / len((&tupleCache{}).shards)
+	if perShard < 4 {
+		perShard = 4
+	}
+	c := &tupleCache{
+		space:     pmem.NewDRAMSpace(uint64(64*perShard*slotBytes), cost),
+		slotBytes: slotBytes,
+		perShard:  perShard,
+		cost:      cost,
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]int, perShard)
+		c.shards[i].keys = make([]uint64, perShard)
+		c.shards[i].ref = make([]bool, perShard)
+	}
+	return c
+}
+
+func pack(table uint8, key uint64) uint64 {
+	// Tables are few and keys rarely use the top byte; mix the table id in.
+	return key ^ (uint64(table) << 56) ^ (uint64(table) * 0x9E3779B97F4A7C15)
+}
+
+func (c *tupleCache) offset(shard, entry int) uint64 {
+	return uint64((shard*c.perShard + entry) * c.slotBytes)
+}
+
+// get copies a cached payload into dst, reporting a hit.
+func (c *tupleCache) get(clk *sim.Clock, table uint8, key uint64, dst []byte) bool {
+	pk := pack(table, key)
+	sh := &c.shards[pk&63]
+	clk.Advance(c.cost.DRAMFirstLine)
+	sh.mu.Lock()
+	i, ok := sh.m[pk]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.ref[i] = true
+	off := c.offset(int(pk&63), i)
+	c.space.Read(clk, off, dst)
+	sh.mu.Unlock()
+	return true
+}
+
+// put installs or refreshes a cached payload.
+func (c *tupleCache) put(clk *sim.Clock, table uint8, key uint64, payload []byte) {
+	if len(payload) > c.slotBytes {
+		return
+	}
+	pk := pack(table, key)
+	sh := &c.shards[pk&63]
+	clk.Advance(c.cost.DRAMFirstLine)
+	sh.mu.Lock()
+	i, ok := sh.m[pk]
+	if !ok {
+		i = sh.evictLocked()
+		if old := sh.keys[i]; old != 0 {
+			delete(sh.m, old)
+		}
+		sh.m[pk] = i
+		sh.keys[i] = pk
+	}
+	sh.ref[i] = true
+	c.space.Write(clk, c.offset(int(pk&63), i), payload)
+	sh.mu.Unlock()
+}
+
+// invalidate drops a cached entry (delete path).
+func (c *tupleCache) invalidate(clk *sim.Clock, table uint8, key uint64) {
+	pk := pack(table, key)
+	sh := &c.shards[pk&63]
+	clk.Advance(c.cost.DRAMFirstLine)
+	sh.mu.Lock()
+	if i, ok := sh.m[pk]; ok {
+		delete(sh.m, pk)
+		sh.keys[i] = 0
+		sh.ref[i] = false
+	}
+	sh.mu.Unlock()
+}
+
+// evictLocked runs CLOCK over the shard and returns a free entry index.
+func (s *tcShard) evictLocked() int {
+	for {
+		i := s.hand
+		s.hand = (s.hand + 1) % len(s.keys)
+		if s.keys[i] == 0 {
+			return i
+		}
+		if s.ref[i] {
+			s.ref[i] = false
+			continue
+		}
+		return i
+	}
+}

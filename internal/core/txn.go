@@ -1,0 +1,638 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"falcon/internal/cc"
+	"falcon/internal/heap"
+	"falcon/internal/sim"
+	"falcon/internal/wal"
+)
+
+// ErrConflict reports a concurrency-control conflict; the transaction has
+// been poisoned and must be aborted (Engine.Run does this automatically and
+// retries).
+var ErrConflict = errors.New("core: transaction conflict")
+
+// ErrDuplicateKey reports an insert of an existing key.
+var ErrDuplicateKey = errors.New("core: duplicate key")
+
+// ErrNotFound reports an operation on a missing key.
+var ErrNotFound = errors.New("core: key not found")
+
+// ErrTxnTooLarge reports a redo log that exceeded the window's overflow
+// capacity.
+var ErrTxnTooLarge = errors.New("core: transaction exceeds log capacity")
+
+// ErrReadOnly reports a write attempted in a read-only transaction.
+var ErrReadOnly = errors.New("core: read-only transaction")
+
+// Txn is one transaction. It is bound to the worker thread that began it and
+// must not be shared across goroutines.
+type Txn struct {
+	e      *Engine
+	worker int
+	tid    uint64
+	clk    *sim.Clock
+	ro     bool
+	done   bool
+
+	log *wal.TxnLog // in-place engines: the write set lives in the window
+
+	writes     []writeOp
+	inserts    []insertOp
+	reads      []readRef
+	locks      []lockRef
+	occIntents []lockRef // OCC write intents awaiting validation-time locks
+}
+
+// writeOp is one buffered update or delete.
+type writeOp struct {
+	t    *Table
+	kind uint8 // wal.OpUpdate or wal.OpDelete
+	slot uint64
+	key  uint64
+	off  int
+	n    int
+	// logPos locates the op in the log window (in-place engines).
+	logPos int
+	// data holds the post-image for out-of-place engines (DRAM buffered).
+	data []byte
+	// secKey caches the secondary key captured at buffering time (deletes).
+	secKey uint64
+}
+
+// insertOp is one buffered insert; the slot is pre-allocated and private to
+// the transaction until commit publishes it in the index.
+type insertOp struct {
+	t      *Table
+	slot   uint64
+	key    uint64
+	logPos int
+	data   []byte // out-of-place engines
+}
+
+// readRef records an OCC read for validation.
+type readRef struct {
+	t    *Table
+	slot uint64
+	word uint64
+}
+
+// lockRef records a held lock for release at commit/abort.
+type lockRef struct {
+	t      *Table
+	slot   uint64
+	shared bool   // 2PL read lock
+	pre    uint64 // pre-lock word (TO/OCC restore on abort)
+}
+
+// Begin starts a read-write transaction on worker's thread.
+func (e *Engine) Begin(worker int) *Txn {
+	return e.begin(worker, false)
+}
+
+// BeginRO starts a read-only transaction. Under multi-version algorithms it
+// reads a consistent snapshot without acquiring any locks; under
+// single-version algorithms it is an ordinary transaction that happens not
+// to write.
+func (e *Engine) BeginRO(worker int) *Txn {
+	return e.begin(worker, true)
+}
+
+func (e *Engine) begin(worker int, ro bool) *Txn {
+	clk := e.clocks[worker]
+	clk.Advance(e.sys.Cost().TxnOverhead)
+	tid := e.gen.Next(worker)
+	e.active.Set(worker, tid)
+	tx := &Txn{e: e, worker: worker, tid: tid, clk: clk, ro: ro}
+	if e.cfg.Update == InPlace && !ro {
+		tx.log = e.windows[worker].Begin(clk, tid)
+	}
+	return tx
+}
+
+// TID returns the transaction id (also its snapshot timestamp).
+func (tx *Txn) TID() uint64 { return tx.tid }
+
+// snapshotRead reports whether reads bypass concurrency control via the
+// version store.
+func (tx *Txn) snapshotRead() bool { return tx.ro && tx.e.cfg.CC.MultiVersion() }
+
+// wtsOf extracts the writer TID from a shadow word under the engine's CC
+// encoding.
+func (e *Engine) wtsOf(word uint64) uint64 {
+	if e.cfg.CC.Base() == cc.TwoPL {
+		return cc.WTS2PL(word)
+	}
+	return cc.WTSTO(word)
+}
+
+// ---- read path ----
+
+// Read copies the tuple payload for key into dst (len >= tuple size). It
+// returns ErrNotFound for missing keys and ErrConflict on CC conflicts.
+func (tx *Txn) Read(t *Table, key uint64, dst []byte) error {
+	return tx.read(t, key, 0, t.schema.TupleSize(), dst)
+}
+
+// ReadField copies one column of the tuple for key into dst.
+func (tx *Txn) ReadField(t *Table, key uint64, col int, dst []byte) error {
+	return tx.read(t, key, t.schema.Offset(col), t.schema.Column(col).Size, dst)
+}
+
+func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
+	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
+
+	// Read-your-own-insert.
+	if ins := tx.findInsert(t, key); ins != nil {
+		tx.copyPending(ins.t, ins.data, ins.logPos, off, n, dst)
+		tx.overlayOwnWrites(t, ins.slot, off, n, dst)
+		return nil
+	}
+	slot, ok := t.primary.Get(tx.clk, key)
+	if !ok {
+		return ErrNotFound
+	}
+	return tx.readResolved(t, key, slot, off, n, dst)
+}
+
+// readResolved is the concurrency-controlled read of an already-resolved
+// heap slot, shared by point reads and scans.
+func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) error {
+	if tx.snapshotRead() {
+		return tx.snapshotReadSlot(t, slot, off, n, dst)
+	}
+
+	lock, _ := t.heap.Meta(slot)
+
+	// Read-your-own-write: the slot is already locked by us; read the base
+	// tuple and overlay pending ops.
+	if tx.ownsWrite(t, slot) {
+		tx.readPayload(t, key, slot, off, n, dst)
+		tx.overlayOwnWrites(t, slot, off, n, dst)
+		return nil
+	}
+
+	switch tx.e.cfg.CC.Base() {
+	case cc.TwoPL:
+		if !tx.holdsShared(t, slot) {
+			if !cc.TryReadLock2PL(lock) {
+				return ErrConflict
+			}
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, shared: true})
+		}
+		// The lock makes the flags stable.
+		if err := liveErr(t, tx.clk, slot); err != nil {
+			return err
+		}
+		tx.readPayload(t, key, slot, off, n, dst)
+		return nil
+
+	case cc.TO:
+		word := lock.Load()
+		if cc.Locked(word) || cc.WTSTO(word) > tx.tid {
+			return ErrConflict
+		}
+		flags := t.heap.ReadFlags(tx.clk, slot)
+		_, readTS := t.heap.Meta(slot)
+		cc.MaxTS(readTS, tx.tid)
+		tx.readPayload(t, key, slot, off, n, dst)
+		if lock.Load() != word {
+			return ErrConflict // concurrent writer slipped in: torn read
+		}
+		return flagsErr(flags)
+
+	default: // OCC
+		word := lock.Load()
+		if cc.Locked(word) {
+			return ErrConflict // no-wait
+		}
+		flags := t.heap.ReadFlags(tx.clk, slot)
+		tx.readPayload(t, key, slot, off, n, dst)
+		if lock.Load() != word {
+			return ErrConflict
+		}
+		if err := flagsErr(flags); err != nil {
+			return err
+		}
+		tx.reads = append(tx.reads, readRef{t: t, slot: slot, word: word})
+		return nil
+	}
+}
+
+// flagsErr maps slot flags to read outcomes: deleted tuples read as absent;
+// an invalidated (superseded out-of-place) version forces a retry so the
+// reader re-resolves the index to the current version.
+func flagsErr(flags uint8) error {
+	if flags&heap.FlagDeleted != 0 {
+		return ErrNotFound
+	}
+	if flags&heap.FlagInvalidated != 0 {
+		return ErrConflict
+	}
+	return nil
+}
+
+func liveErr(t *Table, clk *sim.Clock, slot uint64) error {
+	return flagsErr(t.heap.ReadFlags(clk, slot))
+}
+
+// liveIntent rejects write intents on dead slots — a writer may have raced
+// us to this version and superseded it; the index must be re-resolved. The
+// just-acquired lock stays tracked and is released on abort.
+func (tx *Txn) liveIntent(t *Table, slot uint64) error {
+	if err := liveErr(t, tx.clk, slot); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return err
+		}
+		return ErrConflict
+	}
+	return nil
+}
+
+// readPayload reads tuple bytes, consulting the ZenS tuple cache when
+// enabled.
+func (tx *Txn) readPayload(t *Table, key uint64, slot uint64, off, n int, dst []byte) {
+	if tc := tx.e.tcache; tc != nil {
+		scratch := tx.e.scratchFor(tx.worker, t.schema.TupleSize())
+		if tc.get(tx.clk, t.id, key, scratch) {
+			copy(dst[:n], scratch[off:off+n])
+			return
+		}
+		t.heap.ReadPayload(tx.clk, slot, scratch)
+		tc.put(tx.clk, t.id, key, scratch)
+		copy(dst[:n], scratch[off:off+n])
+		return
+	}
+	t.heap.ReadRange(tx.clk, slot, off, dst[:n])
+}
+
+// snapshotReadSlot performs the MVCC read of Figure 6: try the in-NVM tuple
+// with a seqlock check; fall back to the version chain. A snapshot newer
+// than an in-flight writer must wait for that writer's in-place apply to
+// finish (its chain only covers older intervals), so the loop spins briefly
+// in that case — writers hold tuples only across the short apply phase.
+func (tx *Txn) snapshotReadSlot(t *Table, slot uint64, off, n int, dst []byte) error {
+	lock, _ := t.heap.Meta(slot)
+	for {
+		word := lock.Load()
+		if !cc.Locked(word) && tx.e.wtsOf(word) <= tx.tid {
+			flags := t.heap.ReadFlags(tx.clk, slot)
+			t.heap.ReadRange(tx.clk, slot, off, dst[:n])
+			if lock.Load() == word {
+				if flags&heap.FlagDeleted != 0 {
+					// Deleted at or before our snapshot.
+					return ErrNotFound
+				}
+				if flags&heap.FlagInvalidated == 0 {
+					return nil
+				}
+				// Superseded out-of-place version: consult the chain.
+			} else {
+				continue // torn read: retry
+			}
+		}
+		if v := t.versions.ReadVisible(tx.clk, slot, tx.tid); v != nil {
+			if v.SlotRef != 0 {
+				t.heap.ReadRange(tx.clk, v.SlotRef-1, off, dst[:n])
+			} else {
+				copy(dst[:n], v.Data[off:off+n])
+			}
+			return nil
+		}
+		if word = lock.Load(); !cc.Locked(word) {
+			flags := t.heap.ReadFlags(tx.clk, slot)
+			if flags&heap.FlagInvalidated != 0 {
+				// Stale out-of-place version whose chain migrated to its
+				// successor; re-resolve through the index.
+				return ErrConflict
+			}
+			if flags&heap.FlagDeleted != 0 {
+				return ErrNotFound
+			}
+			if tx.e.wtsOf(word) > tx.tid {
+				// Genuinely created after our snapshot.
+				return ErrNotFound
+			}
+		}
+		// A writer newer than every chained version but older than our
+		// snapshot is mid-apply; wait for it.
+		runtime.Gosched()
+	}
+}
+
+// ---- write buffering ----
+
+// Update overwrites payload bytes [off, off+len(data)) of the tuple for key.
+func (tx *Txn) Update(t *Table, key uint64, off int, data []byte) error {
+	cost := tx.e.sys.Cost()
+	tx.clk.Advance(cost.OpOverhead)
+	if tx.ro {
+		return ErrReadOnly
+	}
+
+	if ins := tx.findInsert(t, key); ins != nil {
+		return tx.updatePendingInsert(ins, off, data)
+	}
+	slot, ok := t.primary.Get(tx.clk, key)
+	if !ok {
+		return ErrNotFound
+	}
+	if err := tx.writeIntent(t, slot); err != nil {
+		return err
+	}
+	return tx.bufferWrite(t, wal.OpUpdate, slot, key, off, data, 0)
+}
+
+// UpdateField overwrites one column.
+func (tx *Txn) UpdateField(t *Table, key uint64, col int, data []byte) error {
+	return tx.Update(t, key, t.schema.Offset(col), data)
+}
+
+// Delete removes the tuple for key at commit.
+func (tx *Txn) Delete(t *Table, key uint64) error {
+	cost := tx.e.sys.Cost()
+	tx.clk.Advance(cost.OpOverhead)
+	if tx.ro {
+		return ErrReadOnly
+	}
+	slot, ok := t.primary.Get(tx.clk, key)
+	if !ok {
+		return ErrNotFound
+	}
+	if err := tx.writeIntent(t, slot); err != nil {
+		return err
+	}
+	var secKey uint64
+	if t.secondary != nil {
+		var b [8]byte
+		t.heap.ReadRange(tx.clk, slot, t.schema.Offset(t.secondaryCol), b[:])
+		secKey = leU64(b[:])
+	}
+	return tx.bufferWrite(t, wal.OpDelete, slot, key, 0, nil, secKey)
+}
+
+// Insert adds a tuple with the given payload (len = tuple size). The key
+// must equal the payload's key column; the slot becomes visible at commit.
+func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
+	cost := tx.e.sys.Cost()
+	tx.clk.Advance(cost.OpOverhead)
+	if tx.ro {
+		return ErrReadOnly
+	}
+	if tx.findInsert(t, key) != nil {
+		return ErrDuplicateKey
+	}
+	if !tx.e.resv.tryReserve(tx.clk, t.id, key) {
+		return ErrConflict // another in-flight insert on the same key
+	}
+	if _, exists := t.primary.Get(tx.clk, key); exists {
+		tx.e.resv.release(tx.clk, t.id, key)
+		return ErrDuplicateKey
+	}
+	slot, err := t.heap.Alloc(tx.clk, tx.worker, tx.e.active.Min())
+	if err != nil {
+		tx.e.resv.release(tx.clk, t.id, key)
+		if errors.Is(err, heap.ErrReclaimPending) {
+			return ErrConflict // backpressure: retry once horizons advance
+		}
+		return fmt.Errorf("%w: %s (insert)", ErrTableFull, t.name)
+	}
+	ins := insertOp{t: t, slot: slot, key: key}
+	if tx.e.cfg.Update == InPlace {
+		pos := tx.logAppendInsert(t, slot, key, payload)
+		if pos < 0 {
+			tx.e.resv.release(tx.clk, t.id, key)
+			return ErrTxnTooLarge
+		}
+		ins.logPos = pos
+	} else {
+		ins.data = append([]byte(nil), payload[:t.schema.TupleSize()]...)
+		chargeDRAMCopy(tx.clk, cost, len(ins.data))
+	}
+	tx.inserts = append(tx.inserts, ins)
+	return nil
+}
+
+// writeIntent acquires the algorithm-specific right to write slot.
+func (tx *Txn) writeIntent(t *Table, slot uint64) error {
+	if tx.ownsWrite(t, slot) {
+		return nil
+	}
+	lock, readTS := t.heap.Meta(slot)
+	switch tx.e.cfg.CC.Base() {
+	case cc.TwoPL:
+		if tx.holdsShared(t, slot) {
+			if !cc.TryUpgrade2PL(lock) {
+				return ErrConflict
+			}
+			tx.dropShared(t, slot)
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot})
+			return tx.liveIntent(t, slot)
+		}
+		if !cc.TryWriteLock2PL(lock) {
+			return ErrConflict
+		}
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot})
+		return tx.liveIntent(t, slot)
+
+	case cc.TO:
+		pre, ok := cc.TryLockTO(lock)
+		if !ok {
+			return ErrConflict
+		}
+		if cc.WTSTO(pre) > tx.tid || readTS.Load() > tx.tid {
+			cc.UnlockTOKeep(lock, pre)
+			return ErrConflict
+		}
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, pre: pre})
+		return tx.liveIntent(t, slot)
+
+	default: // OCC defers locking to validation
+		tx.writesMark(t, slot)
+		return nil
+	}
+}
+
+// bufferWrite records the op in the write set (the log window for in-place
+// engines, DRAM for out-of-place).
+func (tx *Txn) bufferWrite(t *Table, kind uint8, slot, key uint64, off int, data []byte, secKey uint64) error {
+	op := writeOp{t: t, kind: kind, slot: slot, key: key, off: off, n: len(data), secKey: secKey}
+	if tx.e.cfg.Update == InPlace {
+		var pos int
+		if kind == wal.OpDelete {
+			pos = tx.logAppendDelete(t, slot, key)
+		} else {
+			pos = tx.logAppendUpdate(t, slot, key, off, data)
+		}
+		if pos < 0 {
+			return ErrTxnTooLarge
+		}
+		op.logPos = pos
+	} else {
+		if kind != wal.OpDelete {
+			op.data = append([]byte(nil), data...)
+			chargeDRAMCopy(tx.clk, tx.e.sys.Cost(), len(data))
+		}
+	}
+	tx.writes = append(tx.writes, op)
+	return nil
+}
+
+// updatePendingInsert folds an update into a not-yet-committed insert.
+func (tx *Txn) updatePendingInsert(ins *insertOp, off int, data []byte) error {
+	if tx.e.cfg.Update == OutOfPlace {
+		copy(ins.data[off:off+len(data)], data)
+		chargeDRAMCopy(tx.clk, tx.e.sys.Cost(), len(data))
+		return nil
+	}
+	// In-place: append a follow-up update op on the same slot; replay order
+	// preserves the final image.
+	pos := tx.logAppendUpdate(ins.t, ins.slot, ins.key, off, data)
+	if pos < 0 {
+		return ErrTxnTooLarge
+	}
+	tx.writes = append(tx.writes, writeOp{
+		t: ins.t, kind: wal.OpUpdate, slot: ins.slot, key: ins.key,
+		off: off, n: len(data), logPos: pos,
+	})
+	return nil
+}
+
+// ---- log append helpers (in-place) ----
+
+func (tx *Txn) logAppendUpdate(t *Table, slot, key uint64, off int, data []byte) int {
+	return tx.log.AppendUpdate(tx.clk, t.id, slot, key, off, data)
+}
+
+func (tx *Txn) logAppendInsert(t *Table, slot, key uint64, payload []byte) int {
+	return tx.log.AppendInsert(tx.clk, t.id, slot, key, payload[:t.schema.TupleSize()])
+}
+
+func (tx *Txn) logAppendDelete(t *Table, slot, key uint64) int {
+	return tx.log.AppendDelete(tx.clk, t.id, slot, key)
+}
+
+// ---- own-write bookkeeping ----
+
+func (tx *Txn) findInsert(t *Table, key uint64) *insertOp {
+	for i := range tx.inserts {
+		ins := &tx.inserts[i]
+		if ins.t == t && ins.key == key {
+			return ins
+		}
+	}
+	return nil
+}
+
+func (tx *Txn) ownsWrite(t *Table, slot uint64) bool {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		if l.t == t && l.slot == slot && !l.shared {
+			return true
+		}
+	}
+	// OCC has no exec-time locks; check the write set.
+	if tx.e.cfg.CC.Base() == cc.OCC {
+		for i := range tx.writes {
+			w := &tx.writes[i]
+			if w.t == t && w.slot == slot {
+				return true
+			}
+		}
+		return tx.occMarked(t, slot)
+	}
+	return false
+}
+
+func (tx *Txn) holdsShared(t *Table, slot uint64) bool {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		if l.t == t && l.slot == slot && l.shared {
+			return true
+		}
+	}
+	return false
+}
+
+func (tx *Txn) dropShared(t *Table, slot uint64) {
+	for i := range tx.locks {
+		l := &tx.locks[i]
+		if l.t == t && l.slot == slot && l.shared {
+			tx.locks = append(tx.locks[:i], tx.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// occMarks tracks write intents under OCC before any op is buffered.
+func (tx *Txn) writesMark(t *Table, slot uint64) {
+	if !tx.occMarked(t, slot) {
+		tx.occIntents = append(tx.occIntents, lockRef{t: t, slot: slot})
+	}
+}
+
+func (tx *Txn) occMarked(t *Table, slot uint64) bool {
+	for i := range tx.occIntents {
+		m := &tx.occIntents[i]
+		if m.t == t && m.slot == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// overlayOwnWrites patches dst (payload range [off, off+n)) with this
+// transaction's buffered updates to slot.
+func (tx *Txn) overlayOwnWrites(t *Table, slot uint64, off, n int, dst []byte) {
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		if w.t != t || w.slot != slot || w.kind != wal.OpUpdate {
+			continue
+		}
+		lo, hi := w.off, w.off+w.n
+		if hi <= off || lo >= off+n {
+			continue
+		}
+		data := w.data
+		if tx.e.cfg.Update == InPlace {
+			op, _ := tx.log.ReadOp(tx.clk, w.logPos)
+			data = op.Data
+		}
+		s, d := 0, lo-off
+		if d < 0 {
+			s, d = -d, 0
+		}
+		end := hi
+		if end > off+n {
+			end = off + n
+		}
+		copy(dst[d:], data[s:s+(end-(lo+s))])
+	}
+}
+
+// copyPending reads range [off, off+n) of a pending insert's payload.
+func (tx *Txn) copyPending(t *Table, data []byte, logPos int, off, n int, dst []byte) {
+	if tx.e.cfg.Update == OutOfPlace {
+		copy(dst[:n], data[off:off+n])
+		return
+	}
+	op, _ := tx.log.ReadOp(tx.clk, logPos)
+	copy(dst[:n], op.Data[off:off+n])
+}
+
+func chargeDRAMCopy(clk *sim.Clock, cost sim.CostModel, n int) {
+	lines := (n + 63) / 64
+	if lines < 1 {
+		lines = 1
+	}
+	clk.Advance(cost.DRAMFirstLine + uint64(lines-1)*cost.DRAMNextLine)
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

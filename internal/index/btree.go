@@ -1,0 +1,370 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+const (
+	btreeMagic = 0xFA1C0B7E_00000001
+
+	nodeBytes   = pmem.BlockSize // one NVM media block per node
+	nodeEntries = 15             // 16 B header + 15 × 16 B entries
+	maxDepth    = 24
+)
+
+// BTreeIndex is a B+-tree with 256 B nodes, leaf sibling links and lazy
+// deletes (no rebalancing; empty leaves stay linked, which is harmless for
+// routing). Writers are serialized by a tree lock; readers share it. In the
+// virtual-time model host lock waits are free, so the coarse lock does not
+// distort measured results.
+type BTreeIndex struct {
+	space pmem.Space
+	base  uint64
+	cap   uint64 // node capacity
+
+	mu sync.RWMutex
+	// root and nextFree mirror the persistent header (single-writer under
+	// mu; rebuilt from the header on Open).
+	root     uint64
+	nextFree uint64
+}
+
+// BTreeBytes returns the persistent footprint for a capacity-key tree.
+func BTreeBytes(capacity uint64) uint64 {
+	return 64 + btreeNodes(capacity)*nodeBytes
+}
+
+func btreeNodes(capacity uint64) uint64 {
+	// Leaves fill to ~half after random inserts; add ~20% for inner nodes.
+	n := capacity/6 + 64
+	return n
+}
+
+type node struct {
+	id   uint64
+	buf  [nodeBytes]byte
+	tree *BTreeIndex
+}
+
+func (n *node) leaf() bool { return n.buf[0] == 0 }
+func (n *node) setKind(inner bool) {
+	if inner {
+		n.buf[0] = 1
+	} else {
+		n.buf[0] = 0
+	}
+}
+func (n *node) count() int     { return int(n.buf[1]) }
+func (n *node) setCount(c int) { n.buf[1] = byte(c) }
+func (n *node) next() (uint64, bool) {
+	v := binary.LittleEndian.Uint64(n.buf[8:16])
+	return v - 1, v != 0
+}
+func (n *node) setNext(id uint64, ok bool) {
+	if ok {
+		binary.LittleEndian.PutUint64(n.buf[8:16], id+1)
+	} else {
+		binary.LittleEndian.PutUint64(n.buf[8:16], 0)
+	}
+}
+func (n *node) key(i int) uint64 { return binary.LittleEndian.Uint64(n.buf[16+16*i:]) }
+func (n *node) val(i int) uint64 { return binary.LittleEndian.Uint64(n.buf[24+16*i:]) }
+func (n *node) set(i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(n.buf[16+16*i:], k)
+	binary.LittleEndian.PutUint64(n.buf[24+16*i:], v)
+}
+
+// insertAt shifts entries right and places (k,v) at position i.
+func (n *node) insertAt(i int, k, v uint64) {
+	c := n.count()
+	copy(n.buf[16+16*(i+1):16+16*(c+1)], n.buf[16+16*i:16+16*c])
+	n.set(i, k, v)
+	n.setCount(c + 1)
+}
+
+// removeAt shifts entries left over position i.
+func (n *node) removeAt(i int) {
+	c := n.count()
+	copy(n.buf[16+16*i:16+16*(c-1)], n.buf[16+16*(i+1):16+16*c])
+	n.setCount(c - 1)
+}
+
+// searchLeaf returns the position of key, or (insert position, false).
+func (n *node) searchLeaf(key uint64) (int, bool) {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.key(mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < n.count() && n.key(lo) == key
+}
+
+// childFor returns the entry index to descend for key: the last separator
+// <= key, defaulting to 0.
+func (n *node) childFor(key uint64) int {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.key(mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// NewBTree formats a tree at base sized for capacity keys.
+func NewBTree(space pmem.Space, base uint64, capacity uint64) (*BTreeIndex, error) {
+	t := &BTreeIndex{space: space, base: base, cap: btreeNodes(capacity)}
+	if base+t.Bytes() > space.Size() {
+		return nil, fmt.Errorf("index: btree at %d (%d nodes) overflows space", base, t.cap)
+	}
+	var hdr [64]byte
+	binary.LittleEndian.PutUint64(hdr[0:], btreeMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], 0) // root = node 0
+	binary.LittleEndian.PutUint64(hdr[16:], 1)
+	binary.LittleEndian.PutUint64(hdr[24:], t.cap)
+	space.BulkWrite(base, hdr[:])
+	// Node 0: empty leaf.
+	zero := make([]byte, nodeBytes)
+	space.BulkWrite(t.nodeOff(0), zero)
+	t.root, t.nextFree = 0, 1
+	return t, nil
+}
+
+// OpenBTree reattaches to a tree at base (instant recovery).
+func OpenBTree(space pmem.Space, clk *sim.Clock, base uint64) (*BTreeIndex, error) {
+	var hdr [64]byte
+	space.Read(clk, base, hdr[:])
+	if binary.LittleEndian.Uint64(hdr[0:]) != btreeMagic {
+		return nil, fmt.Errorf("index: no btree at %d", base)
+	}
+	return &BTreeIndex{
+		space:    space,
+		base:     base,
+		root:     binary.LittleEndian.Uint64(hdr[8:]),
+		nextFree: binary.LittleEndian.Uint64(hdr[16:]),
+		cap:      binary.LittleEndian.Uint64(hdr[24:]),
+	}, nil
+}
+
+// Kind returns BTree.
+func (t *BTreeIndex) Kind() Kind { return BTree }
+
+// Bytes returns the persistent footprint.
+func (t *BTreeIndex) Bytes() uint64 { return 64 + t.cap*nodeBytes }
+
+func (t *BTreeIndex) nodeOff(id uint64) uint64 { return t.base + 64 + id*nodeBytes }
+
+func (t *BTreeIndex) load(clk *sim.Clock, id uint64) *node {
+	n := &node{id: id, tree: t}
+	t.space.Read(clk, t.nodeOff(id), n.buf[:])
+	return n
+}
+
+func (t *BTreeIndex) store(clk *sim.Clock, n *node) {
+	t.space.Write(clk, t.nodeOff(n.id), n.buf[:])
+}
+
+func (t *BTreeIndex) allocNode(clk *sim.Clock) (uint64, error) {
+	if t.nextFree >= t.cap {
+		return 0, ErrFull
+	}
+	id := t.nextFree
+	t.nextFree++
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], t.nextFree)
+	t.space.Write(clk, t.base+16, b[:])
+	return id, nil
+}
+
+func (t *BTreeIndex) setRoot(clk *sim.Clock, id uint64) {
+	t.root = id
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	t.space.Write(clk, t.base+8, b[:])
+}
+
+// descend walks from the root to the leaf for key, recording the path of
+// (node, childEntry) when path != nil.
+func (t *BTreeIndex) descend(clk *sim.Clock, key uint64, path *[]pathEntry) *node {
+	n := t.load(clk, t.root)
+	for !n.leaf() {
+		i := n.childFor(key)
+		if path != nil {
+			*path = append(*path, pathEntry{n: n, idx: i})
+		}
+		n = t.load(clk, n.val(i))
+	}
+	return n
+}
+
+type pathEntry struct {
+	n   *node
+	idx int
+}
+
+// Get returns the value for key.
+func (t *BTreeIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.descend(clk, key, nil)
+	i, ok := n.searchLeaf(key)
+	if !ok {
+		return 0, false
+	}
+	return n.val(i), true
+}
+
+// Insert adds key→val, splitting nodes as needed.
+func (t *BTreeIndex) Insert(clk *sim.Clock, key, val uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	path := make([]pathEntry, 0, maxDepth)
+	n := t.descend(clk, key, &path)
+	i, exists := n.searchLeaf(key)
+	if exists {
+		return ErrDuplicate
+	}
+	if n.count() < nodeEntries {
+		n.insertAt(i, key, val)
+		t.store(clk, n)
+		return nil
+	}
+	// Split the leaf, then propagate.
+	rightID, err := t.allocNode(clk)
+	if err != nil {
+		return err
+	}
+	right := &node{id: rightID, tree: t}
+	mid := nodeEntries / 2 // left keeps [0,mid), right gets [mid,count)
+	copy(right.buf[16:], n.buf[16+16*mid:16+16*nodeEntries])
+	right.setKind(false)
+	right.setCount(nodeEntries - mid)
+	if nxt, ok := n.next(); ok {
+		right.setNext(nxt, true)
+	}
+	n.setCount(mid)
+	n.setNext(rightID, true)
+	sep := right.key(0)
+	if key < sep {
+		n.insertAt(i, key, val)
+	} else {
+		j, _ := right.searchLeaf(key)
+		right.insertAt(j, key, val)
+	}
+	t.store(clk, right)
+	t.store(clk, n)
+	return t.insertParent(clk, path, n.id, sep, rightID)
+}
+
+// insertParent inserts separator sep pointing at rightID above the split
+// child, recursively splitting inner nodes.
+func (t *BTreeIndex) insertParent(clk *sim.Clock, path []pathEntry, leftID, sep, rightID uint64) error {
+	if len(path) == 0 {
+		// Root split: new root with two children.
+		newRootID, err := t.allocNode(clk)
+		if err != nil {
+			return err
+		}
+		r := &node{id: newRootID, tree: t}
+		r.setKind(true)
+		r.set(0, 0, leftID)
+		r.set(1, sep, rightID)
+		r.setCount(2)
+		t.store(clk, r)
+		t.setRoot(clk, newRootID)
+		return nil
+	}
+	p := path[len(path)-1]
+	n := p.n
+	i := p.idx + 1 // new separator goes right after the descended entry
+	if n.count() < nodeEntries {
+		n.insertAt(i, sep, rightID)
+		t.store(clk, n)
+		return nil
+	}
+	// Split the inner node.
+	newID, err := t.allocNode(clk)
+	if err != nil {
+		return err
+	}
+	right := &node{id: newID, tree: t}
+	mid := nodeEntries / 2
+	copy(right.buf[16:], n.buf[16+16*mid:16+16*nodeEntries])
+	right.setKind(true)
+	right.setCount(nodeEntries - mid)
+	n.setCount(mid)
+	upSep := right.key(0)
+	if i <= mid {
+		n.insertAt(i, sep, rightID)
+	} else {
+		right.insertAt(i-mid, sep, rightID)
+	}
+	t.store(clk, right)
+	t.store(clk, n)
+	return t.insertParent(clk, path[:len(path)-1], n.id, upSep, newID)
+}
+
+// Update repoints an existing key.
+func (t *BTreeIndex) Update(clk *sim.Clock, key, val uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.descend(clk, key, nil)
+	i, ok := n.searchLeaf(key)
+	if !ok {
+		return false
+	}
+	n.set(i, key, val)
+	t.space.Write(clk, t.nodeOff(n.id)+uint64(16+16*i), n.buf[16+16*i:16+16*(i+1)])
+	return true
+}
+
+// Delete removes key (lazy: no rebalancing).
+func (t *BTreeIndex) Delete(clk *sim.Clock, key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.descend(clk, key, nil)
+	i, ok := n.searchLeaf(key)
+	if !ok {
+		return false
+	}
+	n.removeAt(i)
+	t.store(clk, n)
+	return true
+}
+
+// Scan iterates keys >= from in ascending order until fn returns false.
+func (t *BTreeIndex) Scan(clk *sim.Clock, from uint64, fn func(key, val uint64) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.descend(clk, from, nil)
+	i, _ := n.searchLeaf(from)
+	for {
+		for ; i < n.count(); i++ {
+			if !fn(n.key(i), n.val(i)) {
+				return nil
+			}
+		}
+		nxt, ok := n.next()
+		if !ok {
+			return nil
+		}
+		n = t.load(clk, nxt)
+		i = 0
+	}
+}

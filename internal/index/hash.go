@@ -1,0 +1,278 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+const (
+	hashMagic = 0xFA1C0DA5_00000001
+
+	bucketBytes   = pmem.BlockSize // one NVM media block per bucket
+	bucketEntries = 15             // 8 B header + 15 × 16 B entries = 248 B
+	maxProbe      = 16             // linear-probe window in buckets
+
+	// stripeShift groups buckets into lock stripes of 2^stripeShift; a probe
+	// window spans at most two stripes.
+	stripeShift = 5
+)
+
+// HashIndex is a bucketized linear-probing hash table over a Space. Each
+// bucket is one 256 B block holding up to 15 entries; inserts that overflow
+// a bucket probe forward and set the origin's overflow marker so lookups
+// know to keep probing.
+type HashIndex struct {
+	space    pmem.Space
+	base     uint64
+	nbuckets uint64
+	locks    []sync.RWMutex
+}
+
+// HashBytes returns the persistent footprint for a capacity-key index.
+func HashBytes(capacity uint64) uint64 {
+	return 64 + hashBuckets(capacity)*bucketBytes
+}
+
+func hashBuckets(capacity uint64) uint64 {
+	// Size for ~60% bucket load so probe chains stay short.
+	n := capacity/(bucketEntries*6/10) + 1
+	b := uint64(1)
+	for b < n {
+		b <<= 1
+	}
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// NewHash formats a hash index at base sized for capacity keys.
+func NewHash(space pmem.Space, base uint64, capacity uint64) (*HashIndex, error) {
+	nb := hashBuckets(capacity)
+	h := &HashIndex{space: space, base: base, nbuckets: nb}
+	if base+h.Bytes() > space.Size() {
+		return nil, fmt.Errorf("index: hash at %d (%d buckets) overflows space", base, nb)
+	}
+	var hdr [64]byte
+	binary.LittleEndian.PutUint64(hdr[0:], hashMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], nb)
+	space.BulkWrite(base, hdr[:])
+	// Buckets start zeroed (count 0): the device/DRAM space is zero-filled,
+	// but the region may be reused, so clear headers explicitly.
+	zero := make([]byte, 8)
+	for i := uint64(0); i < nb; i++ {
+		space.BulkWrite(h.bucketOff(i), zero)
+	}
+	h.locks = make([]sync.RWMutex, nb>>stripeShift+1)
+	return h, nil
+}
+
+// OpenHash reattaches to a hash index at base (instant recovery: the
+// structure is already in NVM).
+func OpenHash(space pmem.Space, clk *sim.Clock, base uint64) (*HashIndex, error) {
+	var hdr [64]byte
+	space.Read(clk, base, hdr[:])
+	if binary.LittleEndian.Uint64(hdr[0:]) != hashMagic {
+		return nil, fmt.Errorf("index: no hash index at %d", base)
+	}
+	h := &HashIndex{space: space, base: base, nbuckets: binary.LittleEndian.Uint64(hdr[8:])}
+	h.locks = make([]sync.RWMutex, h.nbuckets>>stripeShift+1)
+	return h, nil
+}
+
+// Kind returns Hash.
+func (h *HashIndex) Kind() Kind { return Hash }
+
+// Bytes returns the persistent footprint.
+func (h *HashIndex) Bytes() uint64 { return 64 + h.nbuckets*bucketBytes }
+
+func (h *HashIndex) bucketOff(i uint64) uint64 { return h.base + 64 + i*bucketBytes }
+
+// lockSpan write- or read-locks the (at most two) stripes covering the probe
+// window starting at bucket b, in index order to avoid deadlock. It returns
+// an unlock function.
+func (h *HashIndex) lockSpan(b uint64, write bool) func() {
+	s1 := b >> stripeShift
+	s2 := ((b + maxProbe - 1) & (h.nbuckets - 1)) >> stripeShift
+	lo, hi := s1, s2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	lock := func(s uint64) {
+		if write {
+			h.locks[s].Lock()
+		} else {
+			h.locks[s].RLock()
+		}
+	}
+	unlock := func(s uint64) {
+		if write {
+			h.locks[s].Unlock()
+		} else {
+			h.locks[s].RUnlock()
+		}
+	}
+	lock(lo)
+	if hi != lo {
+		lock(hi)
+	}
+	return func() {
+		if hi != lo {
+			unlock(hi)
+		}
+		unlock(lo)
+	}
+}
+
+// bucket image helpers: a bucket is read and written as one 256 B block.
+
+type bucketBuf [bucketBytes]byte
+
+func (b *bucketBuf) count() int     { return int(binary.LittleEndian.Uint16(b[0:2])) }
+func (b *bucketBuf) setCount(n int) { binary.LittleEndian.PutUint16(b[0:2], uint16(n)) }
+func (b *bucketBuf) overflow() bool { return b[2] != 0 }
+func (b *bucketBuf) setOverflow(v bool) {
+	if v {
+		b[2] = 1
+	} else {
+		b[2] = 0
+	}
+}
+func (b *bucketBuf) key(i int) uint64 { return binary.LittleEndian.Uint64(b[8+16*i:]) }
+func (b *bucketBuf) val(i int) uint64 { return binary.LittleEndian.Uint64(b[16+16*i:]) }
+func (b *bucketBuf) set(i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(b[8+16*i:], k)
+	binary.LittleEndian.PutUint64(b[16+16*i:], v)
+}
+
+// Get returns the value for key.
+func (h *HashIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
+	start := hash64(key) & (h.nbuckets - 1)
+	unlock := h.lockSpan(start, false)
+	defer unlock()
+
+	var buf bucketBuf
+	for p := uint64(0); p < maxProbe; p++ {
+		bi := (start + p) & (h.nbuckets - 1)
+		h.space.Read(clk, h.bucketOff(bi), buf[:])
+		n := buf.count()
+		for i := 0; i < n; i++ {
+			if buf.key(i) == key {
+				return buf.val(i), true
+			}
+		}
+		if n < bucketEntries && !buf.overflow() {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val.
+func (h *HashIndex) Insert(clk *sim.Clock, key, val uint64) error {
+	start := hash64(key) & (h.nbuckets - 1)
+	unlock := h.lockSpan(start, true)
+	defer unlock()
+
+	var buf bucketBuf
+	// First pass: duplicate check across the probe window.
+	for p := uint64(0); p < maxProbe; p++ {
+		bi := (start + p) & (h.nbuckets - 1)
+		h.space.Read(clk, h.bucketOff(bi), buf[:])
+		n := buf.count()
+		for i := 0; i < n; i++ {
+			if buf.key(i) == key {
+				return ErrDuplicate
+			}
+		}
+		if n < bucketEntries && !buf.overflow() {
+			break
+		}
+	}
+	// Second pass: place in the first bucket with room, marking overflow on
+	// the full buckets we skip.
+	for p := uint64(0); p < maxProbe; p++ {
+		bi := (start + p) & (h.nbuckets - 1)
+		h.space.Read(clk, h.bucketOff(bi), buf[:])
+		n := buf.count()
+		if n == bucketEntries {
+			if !buf.overflow() {
+				buf.setOverflow(true)
+				h.space.Write(clk, h.bucketOff(bi), buf[:8])
+			}
+			continue
+		}
+		buf.set(n, key, val)
+		buf.setCount(n + 1)
+		// Persist entry then header; both are within one block, usually one
+		// or two cache lines.
+		h.space.Write(clk, h.bucketOff(bi)+uint64(8+16*n), buf[8+16*n:8+16*n+16])
+		h.space.Write(clk, h.bucketOff(bi), buf[:8])
+		return nil
+	}
+	return ErrFull
+}
+
+// findMut locates key for mutation, returning bucket index and entry slot.
+func (h *HashIndex) findMut(clk *sim.Clock, buf *bucketBuf, start, key uint64) (uint64, int, bool) {
+	for p := uint64(0); p < maxProbe; p++ {
+		bi := (start + p) & (h.nbuckets - 1)
+		h.space.Read(clk, h.bucketOff(bi), buf[:])
+		n := buf.count()
+		for i := 0; i < n; i++ {
+			if buf.key(i) == key {
+				return bi, i, true
+			}
+		}
+		if n < bucketEntries && !buf.overflow() {
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}
+
+// Update repoints an existing key at a new value (out-of-place engines).
+func (h *HashIndex) Update(clk *sim.Clock, key, val uint64) bool {
+	start := hash64(key) & (h.nbuckets - 1)
+	unlock := h.lockSpan(start, true)
+	defer unlock()
+
+	var buf bucketBuf
+	bi, i, ok := h.findMut(clk, &buf, start, key)
+	if !ok {
+		return false
+	}
+	buf.set(i, key, val)
+	h.space.Write(clk, h.bucketOff(bi)+uint64(8+16*i), buf[8+16*i:8+16*i+16])
+	return true
+}
+
+// Delete removes key by swapping the last entry into its hole.
+func (h *HashIndex) Delete(clk *sim.Clock, key uint64) bool {
+	start := hash64(key) & (h.nbuckets - 1)
+	unlock := h.lockSpan(start, true)
+	defer unlock()
+
+	var buf bucketBuf
+	bi, i, ok := h.findMut(clk, &buf, start, key)
+	if !ok {
+		return false
+	}
+	n := buf.count()
+	if i != n-1 {
+		buf.set(i, buf.key(n-1), buf.val(n-1))
+		h.space.Write(clk, h.bucketOff(bi)+uint64(8+16*i), buf[8+16*i:8+16*i+16])
+	}
+	buf.setCount(n - 1)
+	h.space.Write(clk, h.bucketOff(bi), buf[:8])
+	return true
+}
+
+// Scan is unsupported on hash indexes.
+func (h *HashIndex) Scan(clk *sim.Clock, from uint64, fn func(key, val uint64) bool) error {
+	return ErrUnordered
+}

@@ -1,0 +1,307 @@
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+func newSys() *pmem.System {
+	return pmem.NewSystem(pmem.Config{DeviceBytes: 128 << 20})
+}
+
+// build creates each index kind for table-driven tests.
+func buildIndexes(t *testing.T, capacity uint64) map[string]Index {
+	t.Helper()
+	sys := newSys()
+	h, err := NewHash(sys.Space, 0, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := NewBTree(sys.Space, 32<<20, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sim.DefaultCostModel()
+	dh, err := NewHash(pmem.NewDRAMSpace(32<<20, cost), 0, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewBTree(pmem.NewDRAMSpace(64<<20, cost), 0, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Index{"hash-nvm": h, "btree-nvm": bt, "hash-dram": dh, "btree-dram": db}
+}
+
+func TestIndexBasicOps(t *testing.T) {
+	for name, idx := range buildIndexes(t, 10000) {
+		t.Run(name, func(t *testing.T) {
+			clk := sim.NewClock()
+			if _, ok := idx.Get(clk, 5); ok {
+				t.Fatal("empty index returned a value")
+			}
+			if err := idx.Insert(clk, 5, 50); err != nil {
+				t.Fatal(err)
+			}
+			if err := idx.Insert(clk, 5, 51); !errors.Is(err, ErrDuplicate) {
+				t.Fatalf("duplicate insert err = %v", err)
+			}
+			if v, ok := idx.Get(clk, 5); !ok || v != 50 {
+				t.Fatalf("Get = %d,%v", v, ok)
+			}
+			if !idx.Update(clk, 5, 99) {
+				t.Fatal("Update of existing key failed")
+			}
+			if v, _ := idx.Get(clk, 5); v != 99 {
+				t.Fatalf("after Update, Get = %d", v)
+			}
+			if idx.Update(clk, 6, 1) {
+				t.Fatal("Update of missing key succeeded")
+			}
+			if !idx.Delete(clk, 5) {
+				t.Fatal("Delete failed")
+			}
+			if idx.Delete(clk, 5) {
+				t.Fatal("double Delete succeeded")
+			}
+			if _, ok := idx.Get(clk, 5); ok {
+				t.Fatal("deleted key still present")
+			}
+		})
+	}
+}
+
+func TestIndexMatchesReferenceMap(t *testing.T) {
+	for name, idx := range buildIndexes(t, 20000) {
+		t.Run(name, func(t *testing.T) {
+			clk := sim.NewClock()
+			rng := rand.New(rand.NewSource(7))
+			ref := map[uint64]uint64{}
+			for step := 0; step < 20000; step++ {
+				key := uint64(rng.Intn(4000))
+				switch rng.Intn(4) {
+				case 0, 1: // insert
+					err := idx.Insert(clk, key, key*3)
+					if _, exists := ref[key]; exists {
+						if !errors.Is(err, ErrDuplicate) {
+							t.Fatalf("step %d: insert dup err = %v", step, err)
+						}
+					} else if err != nil {
+						t.Fatalf("step %d: insert err = %v", step, err)
+					} else {
+						ref[key] = key * 3
+					}
+				case 2: // delete
+					got := idx.Delete(clk, key)
+					_, exists := ref[key]
+					if got != exists {
+						t.Fatalf("step %d: delete(%d) = %v, want %v", step, key, got, exists)
+					}
+					delete(ref, key)
+				case 3: // update
+					got := idx.Update(clk, key, key+1)
+					_, exists := ref[key]
+					if got != exists {
+						t.Fatalf("step %d: update(%d) = %v, want %v", step, key, got, exists)
+					}
+					if exists {
+						ref[key] = key + 1
+					}
+				}
+			}
+			for k, v := range ref {
+				if got, ok := idx.Get(clk, k); !ok || got != v {
+					t.Fatalf("final: Get(%d) = %d,%v want %d", k, got, ok, v)
+				}
+			}
+		})
+	}
+}
+
+func TestBTreeScanOrder(t *testing.T) {
+	sys := newSys()
+	bt, _ := NewBTree(sys.Space, 0, 100000)
+	clk := sim.NewClock()
+	rng := rand.New(rand.NewSource(3))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		if err := bt.Insert(clk, uint64(k)*2, uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := bt.Scan(clk, 0, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5000 {
+		t.Fatalf("scan visited %d keys, want 5000", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+}
+
+func TestBTreeScanFromMidAndEarlyStop(t *testing.T) {
+	sys := newSys()
+	bt, _ := NewBTree(sys.Space, 0, 10000)
+	clk := sim.NewClock()
+	for k := uint64(0); k < 100; k++ {
+		bt.Insert(clk, k*10, k)
+	}
+	var got []uint64
+	bt.Scan(clk, 305, func(k, v uint64) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []uint64{310, 320, 330, 340, 350}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHashScanUnsupported(t *testing.T) {
+	sys := newSys()
+	h, _ := NewHash(sys.Space, 0, 100)
+	if err := h.Scan(sim.NewClock(), 0, nil); !errors.Is(err, ErrUnordered) {
+		t.Fatalf("err = %v, want ErrUnordered", err)
+	}
+}
+
+func TestIndexesSurviveCrash(t *testing.T) {
+	sys := newSys()
+	clk := sim.NewClock()
+	h, _ := NewHash(sys.Space, 0, 10000)
+	bt, _ := NewBTree(sys.Space, 32<<20, 10000)
+	for k := uint64(0); k < 2000; k++ {
+		h.Insert(clk, k, k+1)
+		bt.Insert(clk, k, k+2)
+	}
+	sys2 := sys.Crash()
+
+	h2, err := OpenHash(sys2.Space, clk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt2, err := OpenBTree(sys2.Space, clk, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if v, ok := h2.Get(clk, k); !ok || v != k+1 {
+			t.Fatalf("hash lost key %d after crash (got %d,%v)", k, v, ok)
+		}
+		if v, ok := bt2.Get(clk, k); !ok || v != k+2 {
+			t.Fatalf("btree lost key %d after crash (got %d,%v)", k, v, ok)
+		}
+	}
+	// Instant recovery must also keep allocation state: inserting new keys
+	// must not corrupt existing ones.
+	for k := uint64(2000); k < 2500; k++ {
+		if err := bt2.Insert(clk, k, k); err != nil {
+			t.Fatal(err)
+		}
+		if err := h2.Insert(clk, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 2500; k++ {
+		if _, ok := bt2.Get(clk, k); !ok {
+			t.Fatalf("btree key %d lost after post-crash inserts", k)
+		}
+	}
+}
+
+func TestIndexConcurrentDisjointWriters(t *testing.T) {
+	sys := newSys()
+	h, _ := NewHash(sys.Space, 0, 100000)
+	bt, _ := NewBTree(sys.Space, 64<<20, 100000)
+	for _, idx := range []Index{h, bt} {
+		const workers, per = 8, 500
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				clk := sim.NewClock()
+				for i := 0; i < per; i++ {
+					k := uint64(w*per + i)
+					if err := idx.Insert(clk, k, k^7); err != nil {
+						t.Errorf("insert %d: %v", k, err)
+						return
+					}
+					if v, ok := idx.Get(clk, k); !ok || v != k^7 {
+						t.Errorf("readback %d failed", k)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		clk := sim.NewClock()
+		for k := uint64(0); k < workers*per; k++ {
+			if _, ok := idx.Get(clk, k); !ok {
+				t.Fatalf("%s: key %d missing after concurrent inserts", idx.Kind(), k)
+			}
+		}
+	}
+}
+
+func TestHashFillToCapacityAndErrFull(t *testing.T) {
+	sys := newSys()
+	// Tiny index: 64 buckets minimum * 15 entries = 960 capacity.
+	h, _ := NewHash(sys.Space, 0, 10)
+	clk := sim.NewClock()
+	inserted := uint64(0)
+	for k := uint64(0); k < 5000; k++ {
+		if err := h.Insert(clk, k, k); err != nil {
+			if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		inserted++
+	}
+	if inserted < 500 {
+		t.Fatalf("only %d keys fit before ErrFull; probing too weak", inserted)
+	}
+	for k := uint64(0); k < inserted; k++ {
+		if _, ok := h.Get(clk, k); !ok {
+			t.Fatalf("key %d lost in a nearly-full table", k)
+		}
+	}
+}
+
+func TestNVMIndexChargesMoreThanDRAM(t *testing.T) {
+	capacity := uint64(50000)
+	sys := newSys()
+	nvm, _ := NewBTree(sys.Space, 0, capacity)
+	dram, _ := NewBTree(pmem.NewDRAMSpace(64<<20, sim.DefaultCostModel()), 0, capacity)
+
+	run := func(idx Index) uint64 {
+		clk := sim.NewClock()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 20000; i++ {
+			idx.Insert(clk, uint64(rng.Int63()), 1)
+		}
+		return clk.Nanos()
+	}
+	nvmT := run(nvm)
+	dramT := run(dram)
+	if nvmT <= dramT {
+		t.Fatalf("NVM index (%d ns) not slower than DRAM index (%d ns)", nvmT, dramT)
+	}
+}

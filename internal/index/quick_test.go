@@ -1,0 +1,129 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+// TestQuickBTreeScanMatchesSortedReference: after arbitrary insert/delete
+// sequences, every range scan must return exactly the live keys in order.
+func TestQuickBTreeScanMatchesSortedReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := pmem.NewSystem(pmem.Config{DeviceBytes: 64 << 20})
+		bt, err := NewBTree(sys.Space, 0, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := sim.NewClock()
+		ref := map[uint64]uint64{}
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(3000))
+			if rng.Intn(3) == 0 {
+				got := bt.Delete(clk, k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				err := bt.Insert(clk, k, k*7)
+				if _, dup := ref[k]; dup {
+					if err != ErrDuplicate {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					ref[k] = k * 7
+				}
+			}
+		}
+		// Full scan from a random start point.
+		from := uint64(rng.Intn(3000))
+		var wantKeys []uint64
+		for k := range ref {
+			if k >= from {
+				wantKeys = append(wantKeys, k)
+			}
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		var got []uint64
+		if err := bt.Scan(clk, from, func(k, v uint64) bool {
+			if v != k*7 {
+				return false
+			}
+			got = append(got, k)
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(wantKeys) {
+			return false
+		}
+		for i := range got {
+			if got[i] != wantKeys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashSurvivesCrashImage: after random mutations and an eADR
+// crash, the reopened hash index must serve exactly the reference contents.
+func TestQuickHashSurvivesCrashImage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := pmem.NewSystem(pmem.Config{DeviceBytes: 64 << 20})
+		h, err := NewHash(sys.Space, 0, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk := sim.NewClock()
+		ref := map[uint64]uint64{}
+		for i := 0; i < 1500; i++ {
+			k := uint64(rng.Intn(2500))
+			switch rng.Intn(4) {
+			case 0:
+				if h.Delete(clk, k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			case 1:
+				v := uint64(rng.Int63())
+				if h.Update(clk, k, v) {
+					ref[k] = v
+				}
+			default:
+				v := uint64(rng.Int63())
+				if err := h.Insert(clk, k, v); err == nil {
+					ref[k] = v
+				}
+			}
+		}
+		h2, err := OpenHash(sys.Crash().Space, clk, 0)
+		if err != nil {
+			return false
+		}
+		for k := uint64(0); k < 2500; k++ {
+			got, ok := h2.Get(clk, k)
+			want, exists := ref[k]
+			if ok != exists || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

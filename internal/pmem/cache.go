@@ -1,0 +1,298 @@
+package pmem
+
+import (
+	"sync"
+
+	"falcon/internal/sim"
+)
+
+// backend is the memory level beneath a Cache: the XPBuffer+media stack for
+// NVM, or a flat DRAM array for volatile spaces. Write-backs and fills charge
+// the backend's own latencies.
+type backend interface {
+	// writeBackLine accepts one dirty 64 B line written back from the cache.
+	writeBackLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]byte)
+	// fillLine reads the current content of one 64 B line into dst.
+	fillLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte)
+	// drain propagates any buffered state to its durable/home location.
+	drain(clk *sim.Clock)
+}
+
+// Cache is a functional set-associative CPU cache in front of a memory
+// backend. Dirty lines hold the authoritative copy of their data: the
+// backend only sees a line when it is written back by replacement, by CLWB,
+// or by the eADR crash flush. This makes persistence behaviour — the entire
+// subject of the paper — directly observable in tests.
+type Cache struct {
+	mode  Mode
+	ways  int
+	nsets uint64
+	limit uint64
+	sets  []cacheSet
+	lower backend
+	stats *Stats
+	cost  sim.CostModel
+}
+
+type cacheLine struct {
+	addr  uint64 // line-aligned address; meaningful only when state != lineInvalid
+	state uint8
+	lru   uint64 // last-access tick (per set)
+	data  [LineSize]byte
+}
+
+const (
+	lineInvalid uint8 = iota
+	lineClean
+	lineDirty
+)
+
+type cacheSet struct {
+	mu   sync.Mutex
+	tick uint64
+	line []cacheLine
+}
+
+// newCache creates a cache of capacityBytes with the given associativity
+// over the backend. The set count is rounded down to a power of two so set
+// indexing is a mask. limit bounds valid addresses.
+func newCache(lower backend, stats *Stats, mode Mode, capacityBytes, ways int, limit uint64, cost sim.CostModel) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	nsets := uint64(capacityBytes / LineSize / ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1 // round down to a power of two
+	}
+	c := &Cache{mode: mode, ways: ways, nsets: nsets, limit: limit, lower: lower, stats: stats, cost: cost}
+	c.sets = make([]cacheSet, nsets)
+	for i := range c.sets {
+		c.sets[i].line = make([]cacheLine, ways)
+	}
+	return c
+}
+
+// Mode returns the persistence domain configuration.
+func (c *Cache) Mode() Mode { return c.mode }
+
+// setFor hashes the line address to a set. Real last-level caches hash
+// their set index (Intel's slice/CBo hashing), which decorrelates the
+// eviction times of adjacent lines; without this, a tuple's lines would be
+// evicted together and merge in the XPBuffer even when never flushed,
+// erasing the write-amplification effect the paper builds on (§3.3).
+func (c *Cache) setFor(lineAddr uint64) *cacheSet {
+	x := lineAddr / LineSize
+	x ^= x >> 17
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return &c.sets[x&(c.nsets-1)]
+}
+
+func (c *Cache) checkRange(addr uint64, n int) {
+	if addr+uint64(n) > c.limit {
+		panic("pmem: access beyond space bounds")
+	}
+}
+
+// Store writes src to [addr, addr+len(src)), installing the affected lines
+// as dirty. The backend is not touched except through replacement
+// write-backs.
+func (c *Cache) Store(clk *sim.Clock, addr uint64, src []byte) {
+	c.checkRange(addr, len(src))
+	c.stats.BytesStored.Add(uint64(len(src)))
+	for len(src) > 0 {
+		la := lineFloor(addr)
+		off := int(addr - la)
+		n := LineSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		c.storeLine(clk, la, off, src[:n])
+		addr += uint64(n)
+		src = src[n:]
+	}
+}
+
+func (c *Cache) storeLine(clk *sim.Clock, lineAddr uint64, off int, src []byte) {
+	set := c.setFor(lineAddr)
+	set.mu.Lock()
+	defer set.mu.Unlock()
+
+	if ln := set.find(lineAddr); ln != nil {
+		copy(ln.data[off:off+len(src)], src)
+		ln.state = lineDirty
+		ln.lru = set.nextTick()
+		c.stats.CacheHits.Add(1)
+		clk.Advance(c.cost.CacheHitLine)
+		return
+	}
+
+	ln := c.victimLocked(clk, set)
+	ln.addr = lineAddr
+	ln.lru = set.nextTick()
+	c.stats.CacheMisses.Add(1)
+	clk.Advance(c.cost.CacheMissLine)
+	if off != 0 || len(src) != LineSize {
+		// Write-allocate with fill: the untouched bytes of the line must
+		// come from below.
+		c.lower.fillLine(clk, lineAddr, &ln.data)
+	}
+	copy(ln.data[off:off+len(src)], src)
+	ln.state = lineDirty
+}
+
+// Load reads [addr, addr+len(dst)) into dst through the cache, installing
+// missing lines as clean.
+func (c *Cache) Load(clk *sim.Clock, addr uint64, dst []byte) {
+	c.checkRange(addr, len(dst))
+	for len(dst) > 0 {
+		la := lineFloor(addr)
+		off := int(addr - la)
+		n := LineSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		c.loadLine(clk, la, off, dst[:n])
+		addr += uint64(n)
+		dst = dst[n:]
+	}
+}
+
+func (c *Cache) loadLine(clk *sim.Clock, lineAddr uint64, off int, dst []byte) {
+	set := c.setFor(lineAddr)
+	set.mu.Lock()
+	defer set.mu.Unlock()
+
+	if ln := set.find(lineAddr); ln != nil {
+		copy(dst, ln.data[off:off+len(dst)])
+		ln.lru = set.nextTick()
+		c.stats.CacheHits.Add(1)
+		clk.Advance(c.cost.CacheHitLine)
+		return
+	}
+
+	ln := c.victimLocked(clk, set)
+	ln.addr = lineAddr
+	ln.lru = set.nextTick()
+	c.stats.CacheMisses.Add(1)
+	clk.Advance(c.cost.CacheMissLine)
+	c.lower.fillLine(clk, lineAddr, &ln.data)
+	ln.state = lineClean
+	copy(dst, ln.data[off:off+len(dst)])
+}
+
+// CLWB writes back the lines covering [addr, addr+n) if they are present and
+// dirty, leaving them resident and clean — the semantics of the clwb
+// instruction. The issue cost is charged per line regardless of residency;
+// the paper's hinted flush (<sfence + clwb*>) does not stall for completion,
+// so no completion wait is charged.
+func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.checkRange(addr, n)
+	end := addr + uint64(n)
+	for la := lineFloor(addr); la < end; la += LineSize {
+		clk.Advance(c.cost.ClwbIssue)
+		set := c.setFor(la)
+		set.mu.Lock()
+		if ln := set.find(la); ln != nil && ln.state == lineDirty {
+			clk.Advance(c.cost.LineWriteback)
+			c.lower.writeBackLine(clk, la, &ln.data)
+			ln.state = lineClean
+			c.stats.ClwbWritebacks.Add(1)
+		}
+		set.mu.Unlock()
+	}
+}
+
+// SFence charges the fence cost. Ordering itself needs no modelling: the
+// simulation executes each worker's operations in program order.
+func (c *Cache) SFence(clk *sim.Clock) { clk.Advance(c.cost.Sfence) }
+
+// FlushAll writes back every dirty line (clean shutdown / sync point). Lines
+// remain resident and clean.
+func (c *Cache) FlushAll(clk *sim.Clock) {
+	for i := range c.sets {
+		set := &c.sets[i]
+		set.mu.Lock()
+		for j := range set.line {
+			ln := &set.line[j]
+			if ln.state == lineDirty {
+				c.lower.writeBackLine(clk, ln.addr, &ln.data)
+				ln.state = lineClean
+			}
+		}
+		set.mu.Unlock()
+	}
+	c.lower.drain(clk)
+}
+
+// CrashFlush simulates a power failure. Under eADR every dirty line reaches
+// the backend (the cache is in the persistence domain); under ADR dirty
+// lines are lost. In both modes buffered controller state drains (the
+// WPQ/XPBuffer is inside the ADR domain). The cache is left empty either way
+// — a restarted system boots cold.
+func (c *Cache) CrashFlush() {
+	clk := sim.NewClock() // crash flushing is not charged to any worker
+	for i := range c.sets {
+		set := &c.sets[i]
+		set.mu.Lock()
+		for j := range set.line {
+			ln := &set.line[j]
+			if ln.state == lineDirty {
+				if c.mode == EADR {
+					c.lower.writeBackLine(clk, ln.addr, &ln.data)
+					c.stats.CrashFlushedLines.Add(1)
+				} else {
+					c.stats.CrashDroppedLines.Add(1)
+				}
+			}
+			ln.state = lineInvalid
+		}
+		set.mu.Unlock()
+	}
+	c.lower.drain(clk)
+}
+
+// victimLocked returns a line slot to (re)use in the set, writing back the
+// evicted line if it was dirty. Caller holds set.mu.
+func (c *Cache) victimLocked(clk *sim.Clock, set *cacheSet) *cacheLine {
+	var victim *cacheLine
+	for i := range set.line {
+		ln := &set.line[i]
+		if ln.state == lineInvalid {
+			return ln
+		}
+		if victim == nil || ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.state == lineDirty {
+		clk.Advance(c.cost.LineWriteback)
+		c.lower.writeBackLine(clk, victim.addr, &victim.data)
+		c.stats.DirtyEvictions.Add(1)
+	} else {
+		c.stats.CleanEvictions.Add(1)
+	}
+	victim.state = lineInvalid
+	return victim
+}
+
+func (s *cacheSet) find(lineAddr uint64) *cacheLine {
+	for i := range s.line {
+		ln := &s.line[i]
+		if ln.state != lineInvalid && ln.addr == lineAddr {
+			return ln
+		}
+	}
+	return nil
+}
+
+func (s *cacheSet) nextTick() uint64 {
+	s.tick++
+	return s.tick
+}

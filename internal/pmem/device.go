@@ -1,0 +1,72 @@
+package pmem
+
+import "fmt"
+
+// Device is the simulated NVM storage media: a flat byte array accessed at
+// BlockSize granularity. The array holds the durable image — what survives a
+// crash (after the persistence-domain flushes defined by the Mode).
+//
+// Device methods do not charge virtual time themselves; latency accounting
+// happens in the XPBuffer and Cache layers, which know *why* a media access
+// happened.
+type Device struct {
+	data  []byte
+	stats Stats
+}
+
+// NewDevice allocates a zeroed device of the given size, rounded up to a
+// whole number of blocks.
+func NewDevice(size uint64) *Device {
+	size = (size + BlockSize - 1) &^ uint64(BlockSize-1)
+	return &Device{data: make([]byte, size)}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return uint64(len(d.data)) }
+
+// Stats returns the device's event counters.
+func (d *Device) Stats() *Stats { return &d.stats }
+
+// readBlockInto copies the durable content of the block containing addr into
+// dst (len BlockSize). The caller is responsible for charging the media-read
+// latency and holding whatever lock covers the block.
+func (d *Device) readBlockInto(blockAddr uint64, dst []byte) {
+	copy(dst[:BlockSize], d.data[blockAddr:blockAddr+BlockSize])
+}
+
+// writeBlock stores a full block to the media.
+func (d *Device) writeBlock(blockAddr uint64, src []byte) {
+	copy(d.data[blockAddr:blockAddr+BlockSize], src[:BlockSize])
+}
+
+// writeLines stores the valid 64 B sub-lines of a block to the media
+// according to mask (bit i covers bytes [i*64, (i+1)*64)). Used after a
+// read-modify-write merge.
+func (d *Device) writeLines(blockAddr uint64, src []byte, mask uint8) {
+	for i := 0; i < LinesPerBlock; i++ {
+		if mask&(1<<i) != 0 {
+			off := blockAddr + uint64(i)*LineSize
+			copy(d.data[off:off+LineSize], src[i*LineSize:(i+1)*LineSize])
+		}
+	}
+}
+
+// RawRead copies durable bytes out of the media without simulating the
+// hierarchy. It is intended for test assertions and for inspecting the
+// post-crash image; production code paths go through a Space.
+func (d *Device) RawRead(off uint64, dst []byte) {
+	copy(dst, d.data[off:off+uint64(len(dst))])
+}
+
+// RawWrite stores bytes directly to the media, bypassing the cache and the
+// XPBuffer and charging no virtual time. It is used for bulk-loading initial
+// database contents, which the paper also performs before measurement.
+func (d *Device) RawWrite(off uint64, src []byte) {
+	copy(d.data[off:off+uint64(len(src))], src)
+}
+
+func (d *Device) checkRange(off uint64, n int) {
+	if off+uint64(n) > uint64(len(d.data)) {
+		panic(fmt.Sprintf("pmem: access [%d, %d) beyond device size %d", off, off+uint64(n), len(d.data)))
+	}
+}

@@ -1,0 +1,54 @@
+// Package pmem simulates the persistent-memory hardware the Falcon paper
+// targets: a byte-addressable NVM device with 256 B media-access granularity,
+// the XPBuffer write-combining layer found inside Intel Optane modules, and a
+// set-associative CPU cache that can be placed inside (eADR) or outside (ADR)
+// the persistence domain.
+//
+// The simulation is functional, not just statistical: a store installs its
+// bytes into a simulated cache line and the backing media is NOT updated
+// until that line is written back (by eviction, by CLWB, or by the crash
+// flush that eADR performs). Consequently "is this data durable?" is a real,
+// testable property of the simulation, which is exactly the property the
+// paper's small-log-window and selective-flush designs manipulate.
+//
+// Virtual-time costs for every event are charged to the sim.Clock passed by
+// the calling worker (see package sim).
+package pmem
+
+const (
+	// LineSize is the CPU cache line size in bytes.
+	LineSize = 64
+	// BlockSize is the NVM media access granularity in bytes (256 B in
+	// Intel Optane; the source of the granularity-mismatch write
+	// amplification described in the paper's §3.2).
+	BlockSize = 256
+	// LinesPerBlock is the number of cache lines per media block.
+	LinesPerBlock = BlockSize / LineSize
+)
+
+// Mode selects the persistence domain of the CPU cache.
+type Mode int
+
+const (
+	// EADR places the CPU cache inside the persistence domain: dirty cache
+	// lines are flushed to the NVM device when the system crashes.
+	EADR Mode = iota
+	// ADR places only the memory controller (here: the XPBuffer) inside the
+	// persistence domain: dirty cache lines are LOST on crash. Data is
+	// durable only once written back via eviction or explicit flush.
+	ADR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case EADR:
+		return "eADR"
+	case ADR:
+		return "ADR"
+	default:
+		return "unknown"
+	}
+}
+
+func lineFloor(addr uint64) uint64  { return addr &^ (LineSize - 1) }
+func blockFloor(addr uint64) uint64 { return addr &^ (BlockSize - 1) }

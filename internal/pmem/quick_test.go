@@ -1,0 +1,121 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falcon/internal/sim"
+)
+
+// TestQuickCacheMatchesFlatMemory: under eADR, an arbitrary interleaving of
+// stores, loads, clwbs, fences and a final crash must behave exactly like a
+// flat byte array — the hierarchy may only change *when* bytes become
+// durable, never their values.
+func TestQuickCacheMatchesFlatMemory(t *testing.T) {
+	const space = 1 << 20
+	f := func(seed int64, opsRaw uint16) bool {
+		ops := int(opsRaw)%400 + 50
+		rng := rand.New(rand.NewSource(seed))
+		sys := NewSystem(Config{
+			Mode:          EADR,
+			DeviceBytes:   space,
+			CacheBytes:    16 << 10, // small: force evictions
+			CacheWays:     4,
+			XPBufferBytes: 2 << 10,
+			XPBanks:       2,
+		})
+		ref := make([]byte, space)
+		clk := sim.NewClock()
+		buf := make([]byte, 512)
+		for i := 0; i < ops; i++ {
+			off := uint64(rng.Intn(space - 512))
+			n := rng.Intn(511) + 1
+			switch rng.Intn(5) {
+			case 0, 1: // store
+				for j := 0; j < n; j++ {
+					buf[j] = byte(rng.Intn(256))
+				}
+				sys.Space.Write(clk, off, buf[:n])
+				copy(ref[off:], buf[:n])
+			case 2: // load and compare
+				got := make([]byte, n)
+				sys.Space.Read(clk, off, got)
+				if !bytes.Equal(got, ref[off:off+uint64(n)]) {
+					return false
+				}
+			case 3:
+				sys.Space.CLWB(clk, off, n)
+			case 4:
+				sys.Space.SFence(clk)
+			}
+		}
+		// After an eADR crash the durable image must equal the reference.
+		sys2 := sys.Crash()
+		got := make([]byte, space)
+		sys2.Dev.RawRead(0, got)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickADRCrashOnlyLosesUnflushedSuffix: under ADR, flushed ranges must
+// survive a crash byte-for-byte (the WPQ/XPBuffer is in the persistence
+// domain), whatever the op interleaving.
+func TestQuickADRFlushedSurvives(t *testing.T) {
+	const space = 1 << 18
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := NewSystem(Config{
+			Mode:          ADR,
+			DeviceBytes:   space,
+			CacheBytes:    8 << 10,
+			CacheWays:     4,
+			XPBufferBytes: 1 << 10,
+			XPBanks:       1,
+		})
+		clk := sim.NewClock()
+		type flushed struct {
+			off  uint64
+			data []byte
+		}
+		var durable []flushed
+		for i := 0; i < 100; i++ {
+			off := uint64(rng.Intn(space - 256))
+			n := rng.Intn(255) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			sys.Space.Write(clk, off, data)
+			// Any write (flushed or not) invalidates overlapping durable
+			// records: their bytes are no longer authoritative.
+			for j := 0; j < len(durable); {
+				d := durable[j]
+				if off < d.off+uint64(len(d.data)) && d.off < off+uint64(n) {
+					durable = append(durable[:j], durable[j+1:]...)
+				} else {
+					j++
+				}
+			}
+			if rng.Intn(2) == 0 {
+				sys.Space.CLWB(clk, off, n)
+				sys.Space.SFence(clk)
+				durable = append(durable, flushed{off, data})
+			}
+		}
+		sys2 := sys.Crash()
+		for _, d := range durable {
+			got := make([]byte, len(d.data))
+			sys2.Dev.RawRead(d.off, got)
+			if !bytes.Equal(got, d.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

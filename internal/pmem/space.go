@@ -1,0 +1,111 @@
+package pmem
+
+import "falcon/internal/sim"
+
+// Space is the memory abstraction the database engine is written against.
+// The same engine code runs over a simulated-NVM space (charged through the
+// cache/XPBuffer/media hierarchy) or a DRAM space (charged through a cache
+// over DRAM latencies), which is how the paper's NVM-index vs DRAM-index
+// configurations are expressed.
+type Space interface {
+	// Read copies len(dst) bytes at off into dst.
+	Read(clk *sim.Clock, off uint64, dst []byte)
+	// Write stores src at off.
+	Write(clk *sim.Clock, off uint64, src []byte)
+	// CLWB hints write-back of the cache lines covering [off, off+n).
+	// It is a no-op on non-persistent spaces.
+	CLWB(clk *sim.Clock, off uint64, n int)
+	// SFence orders preceding stores.
+	SFence(clk *sim.Clock)
+	// BulkWrite installs bytes without simulation cost; for initial loads
+	// only. It must not touch ranges already accessed through the cache —
+	// resident lines would go stale.
+	BulkWrite(off uint64, src []byte)
+	// Size returns the capacity in bytes.
+	Size() uint64
+	// Persistent reports whether data written here survives a crash
+	// (possibly requiring flushes, depending on the cache mode).
+	Persistent() bool
+}
+
+// NVMSpace is a Space backed by the simulated persistent-memory hierarchy.
+type NVMSpace struct {
+	cache *Cache
+	dev   *Device
+}
+
+// NewNVMSpace wraps a cache+device pair as a Space.
+func NewNVMSpace(cache *Cache, dev *Device) *NVMSpace {
+	return &NVMSpace{cache: cache, dev: dev}
+}
+
+func (s *NVMSpace) Read(clk *sim.Clock, off uint64, dst []byte)  { s.cache.Load(clk, off, dst) }
+func (s *NVMSpace) Write(clk *sim.Clock, off uint64, src []byte) { s.cache.Store(clk, off, src) }
+func (s *NVMSpace) CLWB(clk *sim.Clock, off uint64, n int)       { s.cache.CLWB(clk, off, n) }
+func (s *NVMSpace) SFence(clk *sim.Clock)                        { s.cache.SFence(clk) }
+func (s *NVMSpace) BulkWrite(off uint64, src []byte)             { s.dev.RawWrite(off, src) }
+func (s *NVMSpace) Size() uint64                                 { return s.dev.Size() }
+func (s *NVMSpace) Persistent() bool                             { return true }
+
+// Device exposes the backing device (stats, raw post-crash inspection).
+func (s *NVMSpace) Device() *Device { return s.dev }
+
+// Cache exposes the simulated CPU cache.
+func (s *NVMSpace) Cache() *Cache { return s.cache }
+
+// dramBackend is the memory level beneath a DRAM space's cache: a flat
+// volatile array with DRAM fill/write-back latencies.
+type dramBackend struct {
+	data []byte
+	cost sim.CostModel
+}
+
+func (d *dramBackend) writeBackLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]byte) {
+	// DRAM write-backs are posted; charge the streaming cost only.
+	clk.Advance(d.cost.DRAMNextLine)
+	copy(d.data[lineAddr:lineAddr+LineSize], data[:])
+}
+
+func (d *dramBackend) fillLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte) {
+	clk.Advance(d.cost.DRAMFirstLine)
+	copy(dst[:], d.data[lineAddr:lineAddr+LineSize])
+}
+
+func (d *dramBackend) drain(clk *sim.Clock) {}
+
+// DRAMSpace is a Space backed by volatile memory behind its own simulated
+// cache partition: hot structures (index upper levels, tuple-cache entries)
+// cost cache hits, cold ones cost DRAM latency — matching how the paper's
+// DRAM-resident indexes actually behave. Contents do not survive Crash; the
+// engine recreates DRAM structures during recovery.
+type DRAMSpace struct {
+	back  *dramBackend
+	cache *Cache
+}
+
+// NewDRAMSpace allocates a volatile space of the given size with a default
+// cache partition.
+func NewDRAMSpace(size uint64, cost sim.CostModel) *DRAMSpace {
+	return NewDRAMSpaceCache(size, cost, 2<<20, 16)
+}
+
+// NewDRAMSpaceCache allocates a volatile space with an explicit cache
+// partition size and associativity.
+func NewDRAMSpaceCache(size uint64, cost sim.CostModel, cacheBytes, ways int) *DRAMSpace {
+	back := &dramBackend{data: make([]byte, size), cost: cost}
+	stats := &Stats{} // DRAM spaces keep private counters; media stats stay NVM-only
+	return &DRAMSpace{
+		back:  back,
+		cache: newCache(back, stats, ADR, cacheBytes, ways, size, cost),
+	}
+}
+
+func (s *DRAMSpace) Read(clk *sim.Clock, off uint64, dst []byte)  { s.cache.Load(clk, off, dst) }
+func (s *DRAMSpace) Write(clk *sim.Clock, off uint64, src []byte) { s.cache.Store(clk, off, src) }
+func (s *DRAMSpace) CLWB(clk *sim.Clock, off uint64, n int)       {}
+func (s *DRAMSpace) SFence(clk *sim.Clock)                        {}
+func (s *DRAMSpace) BulkWrite(off uint64, src []byte) {
+	copy(s.back.data[off:off+uint64(len(src))], src)
+}
+func (s *DRAMSpace) Size() uint64     { return uint64(len(s.back.data)) }
+func (s *DRAMSpace) Persistent() bool { return false }

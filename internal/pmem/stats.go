@@ -1,0 +1,116 @@
+package pmem
+
+import "sync/atomic"
+
+// Stats counts simulated hardware events on an NVM device and its attached
+// cache. All counters are cumulative and safe for concurrent update.
+type Stats struct {
+	// MediaReads counts 256 B block reads from the storage media, including
+	// the reads issued by read-modify-write partial-block evictions.
+	MediaReads atomic.Uint64
+	// MediaWrites counts 256 B block writes to the storage media.
+	MediaWrites atomic.Uint64
+	// FullBlockWrites counts media writes whose block was fully populated in
+	// the XPBuffer (no read-modify-write needed).
+	FullBlockWrites atomic.Uint64
+	// PartialBlockWrites counts media writes that required a
+	// read-modify-write because only part of the block was buffered. These
+	// are the amplified writes the paper's hinted flush tries to eliminate.
+	PartialBlockWrites atomic.Uint64
+	// XPBufferMerges counts 64 B line write-backs that merged into an
+	// already-buffered block.
+	XPBufferMerges atomic.Uint64
+	// XPBufferHits counts load misses served by the XPBuffer.
+	XPBufferHits atomic.Uint64
+	// CacheHits / CacheMisses count per-line cache accesses.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// DirtyEvictions counts dirty lines written back due to capacity
+	// replacement; CleanEvictions counts replaced lines that cost nothing.
+	DirtyEvictions atomic.Uint64
+	CleanEvictions atomic.Uint64
+	// ClwbWritebacks counts dirty lines written back by explicit CLWB.
+	ClwbWritebacks atomic.Uint64
+	// BytesStored counts application bytes passed to Write (store
+	// granularity, before any amplification).
+	BytesStored atomic.Uint64
+	// BytesToMedia counts bytes physically written to the media
+	// (MediaWrites * BlockSize). BytesToMedia / BytesStored is the write
+	// amplification factor.
+	BytesToMedia atomic.Uint64
+	// CrashFlushedLines counts dirty lines persisted by the eADR crash
+	// flush.
+	CrashFlushedLines atomic.Uint64
+	// CrashDroppedLines counts dirty lines discarded by an ADR crash.
+	CrashDroppedLines atomic.Uint64
+}
+
+// Snapshot is a point-in-time copy of Stats, suitable for diffing.
+type Snapshot struct {
+	MediaReads         uint64
+	MediaWrites        uint64
+	FullBlockWrites    uint64
+	PartialBlockWrites uint64
+	XPBufferMerges     uint64
+	XPBufferHits       uint64
+	CacheHits          uint64
+	CacheMisses        uint64
+	DirtyEvictions     uint64
+	CleanEvictions     uint64
+	ClwbWritebacks     uint64
+	BytesStored        uint64
+	BytesToMedia       uint64
+	CrashFlushedLines  uint64
+	CrashDroppedLines  uint64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		MediaReads:         s.MediaReads.Load(),
+		MediaWrites:        s.MediaWrites.Load(),
+		FullBlockWrites:    s.FullBlockWrites.Load(),
+		PartialBlockWrites: s.PartialBlockWrites.Load(),
+		XPBufferMerges:     s.XPBufferMerges.Load(),
+		XPBufferHits:       s.XPBufferHits.Load(),
+		CacheHits:          s.CacheHits.Load(),
+		CacheMisses:        s.CacheMisses.Load(),
+		DirtyEvictions:     s.DirtyEvictions.Load(),
+		CleanEvictions:     s.CleanEvictions.Load(),
+		ClwbWritebacks:     s.ClwbWritebacks.Load(),
+		BytesStored:        s.BytesStored.Load(),
+		BytesToMedia:       s.BytesToMedia.Load(),
+		CrashFlushedLines:  s.CrashFlushedLines.Load(),
+		CrashDroppedLines:  s.CrashDroppedLines.Load(),
+	}
+}
+
+// Sub returns the element-wise difference s - o.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		MediaReads:         s.MediaReads - o.MediaReads,
+		MediaWrites:        s.MediaWrites - o.MediaWrites,
+		FullBlockWrites:    s.FullBlockWrites - o.FullBlockWrites,
+		PartialBlockWrites: s.PartialBlockWrites - o.PartialBlockWrites,
+		XPBufferMerges:     s.XPBufferMerges - o.XPBufferMerges,
+		XPBufferHits:       s.XPBufferHits - o.XPBufferHits,
+		CacheHits:          s.CacheHits - o.CacheHits,
+		CacheMisses:        s.CacheMisses - o.CacheMisses,
+		DirtyEvictions:     s.DirtyEvictions - o.DirtyEvictions,
+		CleanEvictions:     s.CleanEvictions - o.CleanEvictions,
+		ClwbWritebacks:     s.ClwbWritebacks - o.ClwbWritebacks,
+		BytesStored:        s.BytesStored - o.BytesStored,
+		BytesToMedia:       s.BytesToMedia - o.BytesToMedia,
+		CrashFlushedLines:  s.CrashFlushedLines - o.CrashFlushedLines,
+		CrashDroppedLines:  s.CrashDroppedLines - o.CrashDroppedLines,
+	}
+}
+
+// WriteAmplification returns BytesToMedia / BytesStored, or 0 when nothing
+// has been stored.
+func (s Snapshot) WriteAmplification() float64 {
+	if s.BytesStored == 0 {
+		return 0
+	}
+	return float64(s.BytesToMedia) / float64(s.BytesStored)
+}

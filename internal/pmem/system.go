@@ -1,0 +1,90 @@
+package pmem
+
+import "falcon/internal/sim"
+
+// Config describes a simulated memory system.
+type Config struct {
+	// Mode selects eADR (persistent cache) or ADR (volatile cache).
+	Mode Mode
+	// DeviceBytes is the NVM capacity.
+	DeviceBytes uint64
+	// CacheBytes is the simulated CPU cache capacity (default 2 MiB).
+	CacheBytes int
+	// CacheWays is the associativity (default 16).
+	CacheWays int
+	// XPBufferBytes is the write-combining buffer capacity (default 64 KiB,
+	// approximating the aggregate XPBuffer of an interleaved DIMM set).
+	XPBufferBytes int
+	// XPBanks is the number of independently locked buffer banks
+	// (default 16).
+	XPBanks int
+	// Cost is the virtual-time latency model (default DefaultCostModel).
+	Cost sim.CostModel
+}
+
+// withDefaults fills zero fields with default values.
+func (c Config) withDefaults() Config {
+	if c.DeviceBytes == 0 {
+		c.DeviceBytes = 64 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 2 << 20
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 16
+	}
+	if c.XPBufferBytes == 0 {
+		c.XPBufferBytes = 256 << 10
+	}
+	if c.XPBanks == 0 {
+		c.XPBanks = 16
+	}
+	if c.Cost == (sim.CostModel{}) {
+		c.Cost = sim.DefaultCostModel()
+	}
+	return c
+}
+
+// System bundles a device, its XPBuffer, the CPU cache and the NVM space —
+// one simulated machine. Crash produces the successor System that a restarted
+// process would see.
+type System struct {
+	cfg   Config
+	Dev   *Device
+	XPB   *XPBuffer
+	Cache *Cache
+	Space *NVMSpace
+}
+
+// NewSystem builds a simulated machine from cfg.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	dev := NewDevice(cfg.DeviceBytes)
+	return newSystemOn(cfg, dev)
+}
+
+func newSystemOn(cfg Config, dev *Device) *System {
+	xpb := NewXPBuffer(dev, cfg.XPBufferBytes, cfg.XPBanks, cfg.Cost)
+	cache := newCache(xpb, &dev.stats, cfg.Mode, cfg.CacheBytes, cfg.CacheWays, dev.Size(), cfg.Cost)
+	return &System{cfg: cfg, Dev: dev, XPB: xpb, Cache: cache, Space: NewNVMSpace(cache, dev)}
+}
+
+// Config returns the (defaulted) configuration of the system.
+func (s *System) Config() Config { return s.cfg }
+
+// Cost returns the latency model in effect.
+func (s *System) Cost() sim.CostModel { return s.cfg.Cost }
+
+// Crash simulates a power failure: the persistence-domain flush runs
+// according to the mode, and a fresh System (cold cache, empty XPBuffer) is
+// returned over the same durable device image. The old System must not be
+// used afterwards.
+func (s *System) Crash() *System {
+	s.Cache.CrashFlush()
+	return newSystemOn(s.cfg, s.Dev)
+}
+
+// Sync flushes all dirty state down to the media (clean shutdown).
+func (s *System) Sync(clk *sim.Clock) {
+	s.Cache.FlushAll(clk)
+}

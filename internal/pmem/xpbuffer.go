@@ -1,0 +1,235 @@
+package pmem
+
+import (
+	"sync"
+
+	"falcon/internal/sim"
+)
+
+// XPBuffer models the write-combining buffer inside an Optane NVM module
+// (paper §3.2, Figure 2). Incoming 64 B cache-line write-backs are staged in
+// 256 B block slots. If neighbouring lines of the same block arrive while the
+// slot is still resident, they merge and the eventual media write is a single
+// full-block write. If a slot is evicted while only partially populated, the
+// controller must read the block from the media, merge, and write it back —
+// the read-modify-write amplification the paper's hinted flush avoids.
+//
+// The buffer is banked by block address so concurrent workers contend only
+// when they touch nearby blocks, loosely modelling per-DIMM controllers.
+type XPBuffer struct {
+	dev   *Device
+	cost  sim.CostModel
+	banks []xpBank
+}
+
+type xpSlot struct {
+	blockAddr uint64
+	mask      uint8 // bit i set => line i of the block holds valid data
+	used      bool
+	// LRU list links (indexes into the bank's slot array; -1 = none).
+	prev, next int
+	data       [BlockSize]byte
+}
+
+type xpBank struct {
+	mu    sync.Mutex
+	slots []xpSlot
+	index map[uint64]int // blockAddr -> slot
+	head  int            // most recently used
+	tail  int            // least recently used
+}
+
+// NewXPBuffer creates a buffer with the given total capacity in bytes spread
+// over nbanks banks. Capacity is rounded so each bank holds at least one
+// slot.
+func NewXPBuffer(dev *Device, capacityBytes, nbanks int, cost sim.CostModel) *XPBuffer {
+	if nbanks < 1 {
+		nbanks = 1
+	}
+	slotsPerBank := capacityBytes / BlockSize / nbanks
+	if slotsPerBank < 1 {
+		slotsPerBank = 1
+	}
+	b := &XPBuffer{dev: dev, cost: cost, banks: make([]xpBank, nbanks)}
+	for i := range b.banks {
+		bank := &b.banks[i]
+		bank.slots = make([]xpSlot, slotsPerBank)
+		bank.index = make(map[uint64]int, slotsPerBank)
+		bank.head, bank.tail = -1, -1
+		for j := range bank.slots {
+			bank.slots[j].prev, bank.slots[j].next = -1, -1
+		}
+	}
+	return b
+}
+
+func (b *XPBuffer) bankFor(blockAddr uint64) *xpBank {
+	return &b.banks[(blockAddr/BlockSize)%uint64(len(b.banks))]
+}
+
+// WriteLine accepts one dirty 64 B line written back from the CPU cache and
+// stages it in the buffer, evicting a victim block to the media if the bank
+// is full. Costs are charged to clk (which may be nil during crash flushes).
+func (b *XPBuffer) WriteLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]byte) {
+	blockAddr := blockFloor(lineAddr)
+	lineIdx := int(lineAddr-blockAddr) / LineSize
+	bank := b.bankFor(blockAddr)
+
+	bank.mu.Lock()
+	defer bank.mu.Unlock()
+
+	if si, ok := bank.index[blockAddr]; ok {
+		s := &bank.slots[si]
+		copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+		if s.mask&(1<<lineIdx) != 0 {
+			// Overwrite of an already-buffered line; no merge credit.
+		} else {
+			s.mask |= 1 << lineIdx
+			b.dev.stats.XPBufferMerges.Add(1)
+		}
+		bank.touch(si)
+		return
+	}
+
+	si := bank.freeSlot()
+	if si < 0 {
+		si = bank.tail
+		b.evictSlotLocked(clk, bank, si)
+	}
+	s := &bank.slots[si]
+	s.blockAddr = blockAddr
+	s.mask = 1 << lineIdx
+	s.used = true
+	copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+	bank.index[blockAddr] = si
+	bank.pushFront(si)
+}
+
+// ReadLine fills dst with the current content of the 64 B line at lineAddr,
+// preferring buffered data over the media. It reports whether the XPBuffer
+// had the line (so the caller can charge XPBufferHit instead of a media
+// read).
+func (b *XPBuffer) ReadLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte) (fromBuffer bool) {
+	blockAddr := blockFloor(lineAddr)
+	lineIdx := int(lineAddr-blockAddr) / LineSize
+	bank := b.bankFor(blockAddr)
+
+	bank.mu.Lock()
+	defer bank.mu.Unlock()
+
+	if si, ok := bank.index[blockAddr]; ok {
+		s := &bank.slots[si]
+		if s.mask&(1<<lineIdx) != 0 {
+			copy(dst[:], s.data[lineIdx*LineSize:(lineIdx+1)*LineSize])
+			b.dev.stats.XPBufferHits.Add(1)
+			clk.Advance(b.cost.XPBufferHit)
+			return true
+		}
+	}
+	b.dev.stats.MediaReads.Add(1)
+	clk.Advance(b.cost.MediaReadBlock)
+	b.dev.RawRead(lineAddr, dst[:])
+	return false
+}
+
+// evictSlotLocked writes the victim slot out to the media. Full blocks cost a
+// single media write; partial blocks cost a read-modify-write.
+func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, bank *xpBank, si int) {
+	s := &bank.slots[si]
+	if !s.used {
+		return
+	}
+	full := s.mask == (1<<LinesPerBlock)-1
+	if full {
+		b.dev.writeBlock(s.blockAddr, s.data[:])
+		b.dev.stats.FullBlockWrites.Add(1)
+	} else {
+		// Read-modify-write: fetch the block, merge the valid lines, write
+		// the whole block back.
+		b.dev.stats.MediaReads.Add(1)
+		clk.Advance(b.cost.MediaReadBlock)
+		b.dev.writeLines(s.blockAddr, s.data[:], s.mask)
+		b.dev.stats.PartialBlockWrites.Add(1)
+	}
+	b.dev.stats.MediaWrites.Add(1)
+	b.dev.stats.BytesToMedia.Add(BlockSize)
+	clk.Advance(b.cost.MediaWriteBlock)
+
+	delete(bank.index, s.blockAddr)
+	bank.unlink(si)
+	s.used = false
+	s.mask = 0
+}
+
+// Drain writes every buffered block to the media. The memory controller is
+// inside the persistence domain in both ADR and eADR, so Drain runs on every
+// simulated crash; it is also used by Sync for clean shutdowns.
+func (b *XPBuffer) Drain(clk *sim.Clock) {
+	for i := range b.banks {
+		bank := &b.banks[i]
+		bank.mu.Lock()
+		for bank.tail != -1 {
+			b.evictSlotLocked(clk, bank, bank.tail)
+		}
+		bank.mu.Unlock()
+	}
+}
+
+// backend interface adapters (see cache.go).
+
+func (b *XPBuffer) writeBackLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]byte) {
+	b.WriteLine(clk, lineAddr, data)
+}
+
+func (b *XPBuffer) fillLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte) {
+	b.ReadLine(clk, lineAddr, dst)
+}
+
+func (b *XPBuffer) drain(clk *sim.Clock) { b.Drain(clk) }
+
+// ---- bank LRU helpers (caller holds bank.mu) ----
+
+func (k *xpBank) freeSlot() int {
+	for i := range k.slots {
+		if !k.slots[i].used {
+			return i
+		}
+	}
+	return -1
+}
+
+func (k *xpBank) pushFront(si int) {
+	s := &k.slots[si]
+	s.prev = -1
+	s.next = k.head
+	if k.head != -1 {
+		k.slots[k.head].prev = si
+	}
+	k.head = si
+	if k.tail == -1 {
+		k.tail = si
+	}
+}
+
+func (k *xpBank) unlink(si int) {
+	s := &k.slots[si]
+	if s.prev != -1 {
+		k.slots[s.prev].next = s.next
+	} else if k.head == si {
+		k.head = s.next
+	}
+	if s.next != -1 {
+		k.slots[s.next].prev = s.prev
+	} else if k.tail == si {
+		k.tail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}
+
+func (k *xpBank) touch(si int) {
+	if k.head == si {
+		return
+	}
+	k.unlink(si)
+	k.pushFront(si)
+}

@@ -1,0 +1,427 @@
+// Package wal implements Falcon's redo logging (paper §4.3, §5.2.2).
+//
+// Each worker thread owns a small log window: a circular set of K transaction
+// slots holding the redo log (= the write set) of the K most recent
+// transactions. The window is written through the simulated cache and — this
+// is the paper's central observation — never explicitly flushed: under
+// persistent cache (eADR) the stores are durable the moment they execute, and
+// because the window is small and constantly reused, its lines stay
+// cache-resident and generate no NVM media traffic at all.
+//
+// The same structure doubles as the classic flushed redo log used by the Inp
+// baseline: with Flush set, Commit issues clwb over the whole record. The
+// record bytes are sequential, so those flushes merge into full-block media
+// writes — the log path of a conventional NVM engine.
+//
+// Records larger than a slot spill into a per-slot overflow region; overflow
+// bytes are flushed at commit, modelling the paper's Fig. 12 regime where
+// oversized transactions erode the small-log-window advantage.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+// Transaction-slot states (durable header word).
+const (
+	// StateFree marks a never-used or released slot.
+	StateFree uint64 = 0
+	// StateUncommitted marks an in-progress transaction; its ops are ignored
+	// by recovery.
+	StateUncommitted uint64 = 1
+	// StateCommitted marks a durably committed transaction; recovery replays
+	// its ops (idempotently, guarded by tuple timestamps).
+	StateCommitted uint64 = 2
+)
+
+// Op types.
+const (
+	// OpUpdate is an in-place field update: Data overwrites payload bytes
+	// [Off, Off+len(Data)) of (Table, Slot).
+	OpUpdate uint8 = 1
+	// OpInsert installs a fresh tuple: Data is the full payload and Key is
+	// the index key.
+	OpInsert uint8 = 2
+	// OpDelete marks (Table, Slot) deleted and removes Key from the index.
+	OpDelete uint8 = 3
+)
+
+const (
+	hdrState   = 0
+	hdrTID     = 8
+	hdrNops    = 16 // u32
+	hdrLen     = 20 // u32: payload bytes used in the slot
+	hdrExtLen  = 24 // u32: payload bytes continued in the overflow region
+	hdrBytes   = 64
+	opHdrBytes = 1 + 1 + 2 + 8 + 8 + 4 + 4 // type, table, pad, slot, key, off, len
+)
+
+// Config sizes one thread's window.
+type Config struct {
+	// Slots is the number of transaction slots (the paper uses 2–3).
+	Slots int
+	// SlotBytes is the redo capacity of one slot, header included.
+	SlotBytes int
+	// OverflowBytes is the per-slot spill capacity for oversized
+	// transactions.
+	OverflowBytes int
+	// Flush selects the classic flushed-log behaviour (Inp baseline):
+	// Commit clwbs the whole record.
+	Flush bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots == 0 {
+		c.Slots = 3
+	}
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 4096
+	}
+	return c
+}
+
+// BytesNeeded returns the persistent footprint of one thread's window.
+func BytesNeeded(c Config) uint64 {
+	c = c.withDefaults()
+	return uint64(c.Slots) * uint64(c.SlotBytes+c.OverflowBytes)
+}
+
+// Window is one thread's log window. It is single-writer (the owning
+// thread); recovery reads it via ReadRecords.
+type Window struct {
+	space pmem.Space
+	base  uint64
+	cfg   Config
+	cur   int // round-robin slot cursor (volatile; rebuilt trivially)
+}
+
+// NewWindow creates a window at base. The caller provides a region of
+// BytesNeeded(cfg) bytes. Slots are formatted as StateFree.
+func NewWindow(space pmem.Space, base uint64, cfg Config) *Window {
+	cfg = cfg.withDefaults()
+	w := &Window{space: space, base: base, cfg: cfg}
+	var zero [8]byte
+	for i := 0; i < cfg.Slots; i++ {
+		space.BulkWrite(w.slotOff(i)+hdrState, zero[:])
+	}
+	return w
+}
+
+// OpenWindow reattaches to an existing window (post-recovery reuse; contents
+// are consumed by ReadRecords first, then the window is reformatted).
+func OpenWindow(space pmem.Space, base uint64, cfg Config) *Window {
+	cfg = cfg.withDefaults()
+	return &Window{space: space, base: base, cfg: cfg}
+}
+
+func (w *Window) slotOff(i int) uint64 {
+	return w.base + uint64(i)*uint64(w.cfg.SlotBytes)
+}
+
+func (w *Window) ovfOff(i int) uint64 {
+	return w.base + uint64(w.cfg.Slots)*uint64(w.cfg.SlotBytes) + uint64(i)*uint64(w.cfg.OverflowBytes)
+}
+
+// Begin claims the next slot round-robin and opens a transaction log with
+// the given TID. Claiming overwrites the previous record in that slot, which
+// is safe: any transaction K slots back is either aborted or committed with
+// all its updates already durable (persistent cache), so its log is dead
+// (§4.2 "lifetime of logs").
+func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
+	i := w.cur
+	w.cur = (w.cur + 1) % w.cfg.Slots
+	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[hdrState:], StateUncommitted)
+	binary.LittleEndian.PutUint64(hdr[hdrTID:], tid)
+	// nops/len cleared; written at commit.
+	w.space.Write(clk, w.slotOff(i), hdr[:])
+	return l
+}
+
+// TxnLog is the active transaction's redo log / write set.
+type TxnLog struct {
+	w      *Window
+	slot   int
+	pos    int // next write offset within the slot region
+	extPos int // bytes used in the overflow region
+	nops   int
+	full   bool // ran out of overflow space; ops beyond this are lost
+}
+
+// Overflowed reports whether the record spilled past the slot into the
+// overflow region.
+func (l *TxnLog) Overflowed() bool { return l.extPos > 0 }
+
+// Full reports whether even the overflow region was exhausted. The engine
+// must abort such transactions: their redo is incomplete.
+func (l *TxnLog) Full() bool { return l.full }
+
+// TID returns the owning transaction id (read back from the header line —
+// a cache hit).
+func (l *TxnLog) TID(clk *sim.Clock) uint64 {
+	var b [8]byte
+	l.w.space.Read(clk, l.w.slotOff(l.slot)+hdrTID, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// append writes raw bytes at the log cursor, spilling to overflow as needed.
+// It returns the logical record offset of the first byte written, or -1 when
+// space ran out.
+func (l *TxnLog) append(clk *sim.Clock, b []byte) int {
+	if l.full {
+		return -1
+	}
+	logical := l.pos - hdrBytes + l.extPos
+	rem := len(b)
+	src := b
+	// Fill the slot region first.
+	if l.pos < l.w.cfg.SlotBytes {
+		n := l.w.cfg.SlotBytes - l.pos
+		if n > rem {
+			n = rem
+		}
+		l.w.space.Write(clk, l.w.slotOff(l.slot)+uint64(l.pos), src[:n])
+		l.pos += n
+		src = src[n:]
+		rem -= n
+	}
+	if rem > 0 {
+		if l.extPos+rem > l.w.cfg.OverflowBytes {
+			l.full = true
+			return -1
+		}
+		l.w.space.Write(clk, l.w.ovfOff(l.slot)+uint64(l.extPos), src)
+		l.extPos += rem
+	}
+	return logical
+}
+
+// appendOp serializes one op, returning its logical record position or -1
+// when the window (including overflow) is exhausted. Data may be nil
+// (deletes).
+func (l *TxnLog) appendOp(clk *sim.Clock, typ, table uint8, slot, key uint64, off int, data []byte) int {
+	var hdr [opHdrBytes]byte
+	hdr[0] = typ
+	hdr[1] = table
+	binary.LittleEndian.PutUint64(hdr[4:], slot)
+	binary.LittleEndian.PutUint64(hdr[12:], key)
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(off))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(data)))
+	pos := l.append(clk, hdr[:])
+	if pos < 0 {
+		return -1
+	}
+	if len(data) > 0 && l.append(clk, data) < 0 {
+		return -1
+	}
+	l.nops++
+	return pos
+}
+
+// AppendUpdate logs an in-place field update, returning the op's record
+// position (-1 on overflow exhaustion). The logged value is the post-image,
+// which keeps replay idempotent (§5.2.2: non-idempotent operations must be
+// converted by recording updated values).
+func (l *TxnLog) AppendUpdate(clk *sim.Clock, table uint8, slot, key uint64, off int, data []byte) int {
+	return l.appendOp(clk, OpUpdate, table, slot, key, off, data)
+}
+
+// AppendInsert logs a tuple insert with its full payload.
+func (l *TxnLog) AppendInsert(clk *sim.Clock, table uint8, slot, key uint64, payload []byte) int {
+	return l.appendOp(clk, OpInsert, table, slot, key, 0, payload)
+}
+
+// AppendDelete logs a tuple delete.
+func (l *TxnLog) AppendDelete(clk *sim.Clock, table uint8, slot, key uint64) int {
+	return l.appendOp(clk, OpDelete, table, slot, key, 0, nil)
+}
+
+// Commit publishes the record: op counts, then the COMMITTED state, then a
+// fence. From this instant the transaction is durable (Algorithm 1 line 2).
+func (l *TxnLog) Commit(clk *sim.Clock) {
+	base := l.w.slotOff(l.slot)
+	var cnt [12]byte
+	binary.LittleEndian.PutUint32(cnt[0:], uint32(l.nops))
+	binary.LittleEndian.PutUint32(cnt[4:], uint32(l.pos-hdrBytes))
+	binary.LittleEndian.PutUint32(cnt[8:], uint32(l.extPos))
+	l.w.space.Write(clk, base+hdrNops, cnt[:])
+
+	var st [8]byte
+	binary.LittleEndian.PutUint64(st[:], StateCommitted)
+	l.w.space.Write(clk, base+hdrState, st[:])
+	l.w.space.SFence(clk)
+
+	if l.w.cfg.Flush {
+		// Classic NVM logging: force the whole record to the media. The
+		// record is contiguous, so these clwbs merge into full blocks.
+		l.w.space.CLWB(clk, base, l.pos)
+		l.w.space.SFence(clk)
+	}
+	if l.extPos > 0 {
+		// Overflow bytes will not stay cached (they are written once and
+		// not reused); flush them eagerly — this is the cost that erodes
+		// the small-log-window benefit for oversized transactions.
+		l.w.space.CLWB(clk, l.w.ovfOff(l.slot), l.extPos)
+		l.w.space.SFence(clk)
+	}
+}
+
+// Abort releases the slot without publishing (state back to FREE).
+func (l *TxnLog) Abort(clk *sim.Clock) {
+	var st [8]byte
+	binary.LittleEndian.PutUint64(st[:], StateFree)
+	l.w.space.Write(clk, l.w.slotOff(l.slot)+hdrState, st[:])
+	l.w.space.SFence(clk)
+}
+
+// Op is a deserialized redo operation.
+type Op struct {
+	Type  uint8
+	Table uint8
+	Slot  uint64
+	Key   uint64
+	Off   int
+	Data  []byte
+}
+
+// ReadOp reads back the op at logical record offset pos (as returned during
+// execution) — used by the engine at apply time, reading the write set from
+// the window (cache hits).
+func (l *TxnLog) ReadOp(clk *sim.Clock, pos int) (Op, int) {
+	r := recordReader{space: l.w.space, slotOff: l.w.slotOff(l.slot), ovfOff: l.w.ovfOff(l.slot),
+		slotCap: l.w.cfg.SlotBytes - hdrBytes}
+	return r.readOp(clk, pos)
+}
+
+// Record is one recovered transaction record.
+type Record struct {
+	TID   uint64
+	State uint64
+	Ops   []Op
+}
+
+// recordReader reads record bytes across the slot/overflow split.
+type recordReader struct {
+	space   pmem.Space
+	slotOff uint64 // data begins at slotOff+hdrBytes
+	ovfOff  uint64
+	slotCap int // payload bytes that fit in the slot region
+}
+
+func (r recordReader) read(clk *sim.Clock, pos int, dst []byte) {
+	n := len(dst)
+	if pos < r.slotCap {
+		k := r.slotCap - pos
+		if k > n {
+			k = n
+		}
+		r.space.Read(clk, r.slotOff+hdrBytes+uint64(pos), dst[:k])
+		pos += k
+		dst = dst[k:]
+		n -= k
+	}
+	if n > 0 {
+		r.space.Read(clk, r.ovfOff+uint64(pos-r.slotCap), dst)
+	}
+}
+
+func (r recordReader) readOp(clk *sim.Clock, pos int) (Op, int) {
+	var hdr [opHdrBytes]byte
+	r.read(clk, pos, hdr[:])
+	op := Op{
+		Type:  hdr[0],
+		Table: hdr[1],
+		Slot:  binary.LittleEndian.Uint64(hdr[4:]),
+		Key:   binary.LittleEndian.Uint64(hdr[12:]),
+		Off:   int(binary.LittleEndian.Uint32(hdr[20:])),
+	}
+	dataLen := int(binary.LittleEndian.Uint32(hdr[24:]))
+	pos += opHdrBytes
+	if dataLen > 0 {
+		op.Data = make([]byte, dataLen)
+		r.read(clk, pos, op.Data)
+		pos += dataLen
+	}
+	return op, pos
+}
+
+// ReadRecords scans one thread's window (post-crash image) and returns the
+// committed records. Uncommitted and free slots are skipped — those
+// transactions never touched any tuple (Algorithm 1 orders the state write
+// before any in-place update).
+func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	w := &Window{space: space, base: base, cfg: cfg}
+	var out []Record
+	for i := 0; i < cfg.Slots; i++ {
+		var hdr [28]byte
+		space.Read(clk, w.slotOff(i), hdr[:])
+		state := binary.LittleEndian.Uint64(hdr[hdrState:])
+		if state != StateCommitted {
+			continue
+		}
+		rec := Record{
+			TID:   binary.LittleEndian.Uint64(hdr[hdrTID:]),
+			State: state,
+		}
+		nops := int(binary.LittleEndian.Uint32(hdr[hdrNops:]))
+		total := int(binary.LittleEndian.Uint32(hdr[hdrLen:])) + int(binary.LittleEndian.Uint32(hdr[hdrExtLen:]))
+		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: cfg.SlotBytes - hdrBytes}
+		pos := 0
+		for k := 0; k < nops; k++ {
+			if pos+opHdrBytes > total {
+				return nil, fmt.Errorf("wal: corrupt record tid=%d: op %d beyond length %d", rec.TID, k, total)
+			}
+			var op Op
+			op, pos = r.readOp(clk, pos)
+			rec.Ops = append(rec.Ops, op)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Reset reformats the window's slot states to FREE through the cache
+// (post-recovery reuse; BulkWrite would go stale against resident lines).
+func (w *Window) Reset(clk *sim.Clock) {
+	var zero [8]byte
+	for i := 0; i < w.cfg.Slots; i++ {
+		w.space.Write(clk, w.slotOff(i)+hdrState, zero[:])
+	}
+	w.space.SFence(clk)
+	w.cur = 0
+}
+
+// MaxTID returns the largest TID recorded in any slot header of the window,
+// committed or not. Every transaction writes its TID at Begin, so the
+// maximum across all windows is the newest TID ever issued — what recovery
+// feeds to TIDGen.Restore.
+func MaxTID(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) uint64 {
+	cfg = cfg.withDefaults()
+	w := &Window{space: space, base: base, cfg: cfg}
+	var max uint64
+	for i := 0; i < cfg.Slots; i++ {
+		var hdr [16]byte
+		space.Read(clk, w.slotOff(i), hdr[:])
+		state := binary.LittleEndian.Uint64(hdr[:8])
+		tid := binary.LittleEndian.Uint64(hdr[8:])
+		if state != StateFree && tid > max {
+			max = tid
+		}
+	}
+	return max
+}
+
+// SortRecords orders records by TID ascending — the replay order. Tuple
+// timestamp guards make replay idempotent, but ordering keeps the final
+// state equal to the newest committed write even when several surviving
+// records touch the same tuple.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].TID < recs[j].TID })
+}

@@ -1,0 +1,241 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+)
+
+func newTestWindow(cfg Config) (*Window, *pmem.System) {
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 16 << 20})
+	return NewWindow(sys.Space, 0, cfg), sys
+}
+
+func TestCommitRecordRoundTrip(t *testing.T) {
+	w, sys := newTestWindow(Config{Slots: 3, SlotBytes: 1024, OverflowBytes: 1024})
+	clk := sim.NewClock()
+
+	l := w.Begin(clk, 42)
+	if l.AppendUpdate(clk, 1, 7, 99, 16, []byte("abcd")) < 0 {
+		t.Fatal("append failed")
+	}
+	if l.AppendInsert(clk, 2, 8, 100, bytes.Repeat([]byte{5}, 32)) < 0 {
+		t.Fatal("append failed")
+	}
+	if l.AppendDelete(clk, 1, 9, 101) < 0 {
+		t.Fatal("append failed")
+	}
+	l.Commit(clk)
+
+	recs, err := ReadRecords(sys.Space, clk, 0, Config{Slots: 3, SlotBytes: 1024, OverflowBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.TID != 42 || len(r.Ops) != 3 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Ops[0].Type != OpUpdate || r.Ops[0].Slot != 7 || r.Ops[0].Off != 16 || !bytes.Equal(r.Ops[0].Data, []byte("abcd")) {
+		t.Errorf("op0 = %+v", r.Ops[0])
+	}
+	if r.Ops[1].Type != OpInsert || r.Ops[1].Key != 100 || len(r.Ops[1].Data) != 32 {
+		t.Errorf("op1 = %+v", r.Ops[1])
+	}
+	if r.Ops[2].Type != OpDelete || r.Ops[2].Key != 101 {
+		t.Errorf("op2 = %+v", r.Ops[2])
+	}
+}
+
+func TestUncommittedRecordsIgnored(t *testing.T) {
+	w, sys := newTestWindow(Config{Slots: 2, SlotBytes: 512})
+	clk := sim.NewClock()
+	l := w.Begin(clk, 1)
+	l.AppendUpdate(clk, 0, 0, 0, 0, []byte("x"))
+	// no Commit
+	recs, err := ReadRecords(sys.Space, clk, 0, Config{Slots: 2, SlotBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("uncommitted record surfaced: %+v", recs)
+	}
+}
+
+func TestAbortFreesSlot(t *testing.T) {
+	w, sys := newTestWindow(Config{Slots: 2, SlotBytes: 512})
+	clk := sim.NewClock()
+	l := w.Begin(clk, 1)
+	l.AppendUpdate(clk, 0, 0, 0, 0, []byte("x"))
+	l.Abort(clk)
+	recs, _ := ReadRecords(sys.Space, clk, 0, Config{Slots: 2, SlotBytes: 512})
+	if len(recs) != 0 {
+		t.Fatal("aborted record surfaced")
+	}
+}
+
+func TestWindowReuseOverwritesOldRecords(t *testing.T) {
+	cfg := Config{Slots: 2, SlotBytes: 512}
+	w, sys := newTestWindow(cfg)
+	clk := sim.NewClock()
+	for tid := uint64(1); tid <= 5; tid++ {
+		l := w.Begin(clk, tid)
+		l.AppendUpdate(clk, 0, tid, tid, 0, []byte{byte(tid)})
+		l.Commit(clk)
+	}
+	recs, _ := ReadRecords(sys.Space, clk, 0, cfg)
+	if len(recs) != 2 {
+		t.Fatalf("window with 2 slots kept %d records", len(recs))
+	}
+	SortRecords(recs)
+	if recs[0].TID != 4 || recs[1].TID != 5 {
+		t.Fatalf("kept TIDs %d,%d; want 4,5", recs[0].TID, recs[1].TID)
+	}
+}
+
+func TestRecordsSurviveCrashUnflushed(t *testing.T) {
+	// The core property of the small log window: records are durable under
+	// eADR even though no clwb is ever issued.
+	cfg := Config{Slots: 3, SlotBytes: 1024}
+	w, sys := newTestWindow(cfg)
+	clk := sim.NewClock()
+	l := w.Begin(clk, 77)
+	l.AppendUpdate(clk, 1, 5, 50, 8, []byte("durable"))
+	l.Commit(clk)
+
+	st := sys.Dev.Stats().Snapshot()
+	if st.MediaWrites != 0 {
+		t.Fatalf("small log window generated %d media writes during normal operation", st.MediaWrites)
+	}
+
+	sys2 := sys.Crash()
+	recs, err := ReadRecords(sys2.Space, clk, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TID != 77 || !bytes.Equal(recs[0].Ops[0].Data, []byte("durable")) {
+		t.Fatalf("record lost across eADR crash: %+v", recs)
+	}
+}
+
+func TestRecordsLostInADRWithoutFlush(t *testing.T) {
+	cfg := Config{Slots: 3, SlotBytes: 1024}
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 16 << 20, Mode: pmem.ADR})
+	w := NewWindow(sys.Space, 0, cfg)
+	clk := sim.NewClock()
+	l := w.Begin(clk, 77)
+	l.AppendUpdate(clk, 1, 5, 50, 8, []byte("gone"))
+	l.Commit(clk)
+
+	sys2 := sys.Crash()
+	recs, _ := ReadRecords(sys2.Space, clk, 0, cfg)
+	if len(recs) != 0 {
+		t.Fatal("unflushed log survived an ADR crash; the simulator is too forgiving")
+	}
+}
+
+func TestFlushedLogSurvivesADRCrash(t *testing.T) {
+	cfg := Config{Slots: 3, SlotBytes: 1024, Flush: true}
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 16 << 20, Mode: pmem.ADR})
+	w := NewWindow(sys.Space, 0, cfg)
+	clk := sim.NewClock()
+	l := w.Begin(clk, 78)
+	l.AppendUpdate(clk, 1, 5, 50, 8, []byte("safe"))
+	l.Commit(clk)
+
+	sys2 := sys.Crash()
+	recs, _ := ReadRecords(sys2.Space, clk, 0, cfg)
+	if len(recs) != 1 || recs[0].TID != 78 {
+		t.Fatal("flushed (Inp-style) log lost under ADR crash")
+	}
+}
+
+func TestOverflowSpillAndReadback(t *testing.T) {
+	cfg := Config{Slots: 2, SlotBytes: 256, OverflowBytes: 4096}
+	w, sys := newTestWindow(cfg)
+	clk := sim.NewClock()
+	big := bytes.Repeat([]byte{0xEE}, 1000) // much larger than the slot
+	l := w.Begin(clk, 9)
+	if l.AppendInsert(clk, 0, 1, 2, big) < 0 {
+		t.Fatal("append of oversized op failed despite overflow capacity")
+	}
+	if !l.Overflowed() {
+		t.Fatal("record should have spilled")
+	}
+	l.Commit(clk)
+
+	recs, err := ReadRecords(sys.Space, clk, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Ops[0].Data, big) {
+		t.Fatal("overflowed record corrupted")
+	}
+}
+
+func TestOverflowExhaustionMarksFull(t *testing.T) {
+	cfg := Config{Slots: 2, SlotBytes: 256, OverflowBytes: 256}
+	w, _ := newTestWindow(cfg)
+	clk := sim.NewClock()
+	l := w.Begin(clk, 9)
+	if l.AppendInsert(clk, 0, 1, 2, bytes.Repeat([]byte{1}, 10000)) >= 0 {
+		t.Fatal("append succeeded beyond capacity")
+	}
+	if !l.Full() {
+		t.Fatal("Full() not reported")
+	}
+}
+
+func TestReadOpDuringExecution(t *testing.T) {
+	w, _ := newTestWindow(Config{Slots: 2, SlotBytes: 512})
+	clk := sim.NewClock()
+	l := w.Begin(clk, 3)
+	l.AppendUpdate(clk, 4, 10, 20, 8, []byte("one"))
+	l.AppendUpdate(clk, 4, 11, 21, 0, []byte("two"))
+
+	op, next := l.ReadOp(clk, 0)
+	if op.Slot != 10 || !bytes.Equal(op.Data, []byte("one")) {
+		t.Fatalf("op0 = %+v", op)
+	}
+	op, _ = l.ReadOp(clk, next)
+	if op.Slot != 11 || !bytes.Equal(op.Data, []byte("two")) {
+		t.Fatalf("op1 = %+v", op)
+	}
+}
+
+func TestSmallWindowStaysCacheResident(t *testing.T) {
+	// Run many transactions through a window while touching a large data
+	// region; the window lines must mostly stay cached (few media writes
+	// attributable to the log).
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 32 << 20, CacheBytes: 256 << 10})
+	cfg := Config{Slots: 3, SlotBytes: 2048}
+	w := NewWindow(sys.Space, 0, cfg)
+	clk := sim.NewClock()
+
+	dataBase := uint64(1 << 20)
+	payload := make([]byte, 128)
+	for tid := uint64(1); tid <= 2000; tid++ {
+		l := w.Begin(clk, tid)
+		l.AppendUpdate(clk, 0, tid%512, tid, 0, payload)
+		l.Commit(clk)
+		// Simulated tuple traffic sweeping a 4 MiB region.
+		addr := dataBase + (tid*8192)%(4<<20)
+		sys.Space.Write(clk, addr, payload)
+		sys.Space.CLWB(clk, addr, len(payload))
+	}
+	st := sys.Dev.Stats().Snapshot()
+	// The window occupies [0, ~18KB); count media writes to that range is
+	// not directly tracked, but overall dirty evictions should be dominated
+	// by the data sweep. As a proxy: the window is 9 KiB over 2000 txns of
+	// ~160B each; if every log byte were evicted we would see >5000 extra
+	// partial writes. Require the total stays well below that.
+	dataWrites := 2000 * 3 // 128B clwb'd = 2-3 lines -> <=3 blocks per txn
+	if st.MediaWrites > uint64(dataWrites)+1500 {
+		t.Fatalf("media writes %d suggest log window thrashing (data-only bound %d)",
+			st.MediaWrites, dataWrites)
+	}
+}

@@ -1,0 +1,74 @@
+package tpcc
+
+// Composite-key packing. Warehouse ids start at 1; districts 1..10;
+// customers 1..C; orders grow from 1. Bit budgets: w ≤ 2^16, d ≤ 2^6,
+// c ≤ 2^20, o ≤ 2^28, ol ≤ 2^4.
+
+func wKey(w int) uint64 { return uint64(w) }
+
+func dKey(w, d int) uint64 { return uint64(w)<<8 | uint64(d) }
+
+func cKey(w, d, c int) uint64 {
+	return uint64(w)<<28 | uint64(d)<<22 | uint64(c)
+}
+
+func iKey(i int) uint64 { return uint64(i) }
+
+func sKey(w, i int) uint64 { return uint64(w)<<28 | uint64(i) }
+
+func oKey(w, d, o int) uint64 {
+	return uint64(w)<<40 | uint64(d)<<34 | uint64(o)
+}
+
+// oKeyPrefix is the first possible order key of (w, d).
+func oKeyPrefix(w, d int) uint64 { return oKey(w, d, 0) }
+
+func noKey(w, d, o int) uint64 { return oKey(w, d, o) }
+
+func olKey(w, d, o, ol int) uint64 {
+	return uint64(w)<<44 | uint64(d)<<38 | uint64(o)<<6 | uint64(ol)
+}
+
+func olKeyPrefix(w, d, o int) uint64 { return olKey(w, d, o, 0) }
+
+// oSecKey orders a customer's orders for the OrderStatus "most recent order"
+// lookup: scan forward from oSecPrefix and keep the last matching entry.
+func oSecKey(w, d, c, o int) uint64 {
+	return uint64(w)<<44 | uint64(d)<<38 | uint64(c)<<16 | uint64(o&0xFFFF)
+}
+
+func oSecPrefix(w, d, c int) uint64 { return oSecKey(w, d, c, 0) }
+
+// cSecKey supports the Payment/OrderStatus lookup by last name: a 16-bit
+// hash of the name, disambiguated by the customer id so secondary keys stay
+// unique. Customers sharing a last name are adjacent in the btree.
+func cSecKey(w, d int, last []byte, c int) uint64 {
+	return uint64(w)<<44 | uint64(d)<<38 | uint64(nameHash(last))<<22 | uint64(c)
+}
+
+func cSecPrefix(w, d int, last []byte) uint64 { return cSecKey(w, d, last, 0) }
+
+func nameHash(last []byte) uint16 {
+	var h uint32 = 2166136261
+	for _, b := range last {
+		if b == 0 {
+			break
+		}
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
+}
+
+// TPC-C generates last names from three syllable indexes (spec 4.3.2.3).
+var nameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// lastName builds the spec's synthetic last name for a number in [0, 999].
+func lastName(num int, dst []byte) []byte {
+	dst = dst[:0]
+	dst = append(dst, nameSyllables[num/100]...)
+	dst = append(dst, nameSyllables[(num/10)%10]...)
+	dst = append(dst, nameSyllables[num%10]...)
+	return dst
+}

@@ -1,0 +1,299 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"falcon/internal/cc"
+	"falcon/internal/core"
+	"falcon/internal/pmem"
+)
+
+func tinyConfig() Config {
+	return Config{Warehouses: 2, Items: 200, CustomersPerDistrict: 30}
+}
+
+func newLoadedEngine(t *testing.T, ecfg core.Config, cfg Config) (*core.Engine, *Driver) {
+	t.Helper()
+	ecfg.Threads = 4
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 512 << 20})
+	e, err := core.New(sys, ecfg, TableSpecs(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	cfg := tinyConfig()
+	e, _ := newLoadedEngine(t, core.FalconConfig(), cfg)
+
+	buf := make([]byte, e.Table(TWarehouse).Schema().TupleSize())
+	if err := e.RunRO(0, func(tx *core.Txn) error {
+		return tx.Read(e.Table(TWarehouse), wKey(1), buf)
+	}); err != nil {
+		t.Fatalf("warehouse 1 missing: %v", err)
+	}
+	cbuf := make([]byte, e.Table(TCustomer).Schema().TupleSize())
+	if err := e.RunRO(0, func(tx *core.Txn) error {
+		return tx.Read(e.Table(TCustomer), cKey(2, 10, 30), cbuf)
+	}); err != nil {
+		t.Fatalf("last customer missing: %v", err)
+	}
+	sbuf := make([]byte, e.Table(TStock).Schema().TupleSize())
+	if err := e.RunRO(0, func(tx *core.Txn) error {
+		return tx.Read(e.Table(TStock), sKey(2, 200), sbuf)
+	}); err != nil {
+		t.Fatalf("stock missing: %v", err)
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	var counts [5]int
+	for roll := 0; roll < 100; roll++ {
+		counts[Mix(roll)]++
+	}
+	want := [5]int{45, 43, 4, 4, 4}
+	if counts != want {
+		t.Fatalf("mix = %v, want %v", counts, want)
+	}
+}
+
+func TestNewOrderCreatesOrderAndLines(t *testing.T) {
+	cfg := tinyConfig()
+	e, d := newLoadedEngine(t, core.FalconConfig(), cfg)
+	if err := d.NewOrderTxn(0); err != nil && err != core.ErrRollback {
+		t.Fatal(err)
+	}
+	// next_o_id of at least one district of warehouse 1 advanced.
+	ds := e.Table(TDistrict).Schema()
+	dbuf := make([]byte, ds.TupleSize())
+	advanced := false
+	for did := 1; did <= Districts; did++ {
+		if err := e.RunRO(0, func(tx *core.Txn) error {
+			return tx.Read(e.Table(TDistrict), dKey(1, did), dbuf)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ds.GetInt64(dbuf, DNextOID) > int64(cfg.OrdersPerDistrict)+1 {
+			advanced = true
+		}
+	}
+	// The transaction may have rolled back (1%); tolerate only if counts say so.
+	if !advanced && d.counts[TxnNewOrder].Load() > 0 {
+		t.Fatal("NewOrder committed but no district next_o_id advanced")
+	}
+}
+
+func TestAllTransactionTypesRun(t *testing.T) {
+	cfg := tinyConfig()
+	_, d := newLoadedEngine(t, core.FalconConfig(), cfg)
+	for ty := TxnNewOrder; ty <= TxnStockLevel; ty++ {
+		for i := 0; i < 5; i++ {
+			if err := d.Exec(i%4, ty); err != nil {
+				t.Fatalf("%v run %d: %v", ty, i, err)
+			}
+		}
+	}
+	counts := d.Counts()
+	for ty := TxnNewOrder; ty <= TxnStockLevel; ty++ {
+		if counts[ty.String()] == 0 {
+			t.Errorf("%v never committed", ty)
+		}
+	}
+}
+
+func TestMixedWorkloadAllEngines(t *testing.T) {
+	for _, ecfg := range []core.Config{
+		core.FalconConfig(), core.FalconDRAMIndexConfig(), core.InpConfig(),
+		core.OutpConfig(), core.ZenSConfig(),
+	} {
+		ecfg := ecfg
+		t.Run(ecfg.Name, func(t *testing.T) {
+			cfg := tinyConfig()
+			_, d := newLoadedEngine(t, ecfg, cfg)
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						if err := d.Next(w); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMixedWorkloadAllCCAlgorithms(t *testing.T) {
+	for _, algo := range cc.All {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			ecfg := core.FalconConfig()
+			ecfg.CC = algo
+			cfg := tinyConfig()
+			_, d := newLoadedEngine(t, ecfg, cfg)
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 30; i++ {
+						if err := d.Next(w); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDistrictOrderConsistency(t *testing.T) {
+	// Invariant (TPC-C consistency condition 1-3 simplified): for each
+	// district, d_next_o_id - 1 equals the maximum order id present.
+	cfg := tinyConfig()
+	e, d := newLoadedEngine(t, core.FalconConfig(), cfg)
+	for i := 0; i < 60; i++ {
+		if err := d.Exec(i%4, TxnNewOrder); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := e.Table(TDistrict).Schema()
+	dbuf := make([]byte, ds.TupleSize())
+	for w := 1; w <= cfg.Warehouses; w++ {
+		for did := 1; did <= Districts; did++ {
+			if err := e.RunRO(0, func(tx *core.Txn) error {
+				return tx.Read(e.Table(TDistrict), dKey(w, did), dbuf)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			next := int(ds.GetInt64(dbuf, DNextOID))
+			// The order with id next-1 must exist; next must not.
+			obuf := make([]byte, e.Table(TOrder).Schema().TupleSize())
+			if err := e.RunRO(0, func(tx *core.Txn) error {
+				return tx.Read(e.Table(TOrder), oKey(w, did, next-1), obuf)
+			}); err != nil {
+				t.Fatalf("w%d d%d: order %d (next_o_id-1) missing: %v", w, did, next-1, err)
+			}
+			if err := e.RunRO(0, func(tx *core.Txn) error {
+				return tx.Read(e.Table(TOrder), oKey(w, did, next), obuf)
+			}); err == nil {
+				t.Fatalf("w%d d%d: order %d (next_o_id) already exists", w, did, next)
+			}
+		}
+	}
+}
+
+func TestDeliveryClearsNewOrders(t *testing.T) {
+	cfg := tinyConfig()
+	e, d := newLoadedEngine(t, core.FalconConfig(), cfg)
+	before := countNewOrders(t, e, 1)
+	if before == 0 {
+		t.Fatal("loader created no undelivered orders")
+	}
+	if err := d.DeliveryTxn(0); err != nil {
+		t.Fatal(err)
+	}
+	after := countNewOrders(t, e, 1)
+	if after >= before {
+		t.Fatalf("delivery removed no new-orders (%d -> %d)", before, after)
+	}
+}
+
+func countNewOrders(t *testing.T, e *core.Engine, w int) int {
+	t.Helper()
+	n := 0
+	err := e.RunRO(0, func(tx *core.Txn) error {
+		n = 0
+		_, err := tx.Scan(e.Table(TNewOrder), oKeyPrefix(w, 1), 0, func(k uint64, _ []byte) bool {
+			if int(k>>40) != w {
+				return false
+			}
+			n++
+			return true
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestCrashRecoveryPreservesTPCC(t *testing.T) {
+	cfg := tinyConfig()
+	ecfg := core.FalconConfig()
+	e, d := newLoadedEngine(t, ecfg, cfg)
+	for i := 0; i < 40; i++ {
+		if err := d.Next(i % 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot an invariant source before crash.
+	ds := e.Table(TDistrict).Schema()
+	dbuf := make([]byte, ds.TupleSize())
+	wantNext := map[uint64]int64{}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		for did := 1; did <= Districts; did++ {
+			if err := e.RunRO(0, func(tx *core.Txn) error {
+				return tx.Read(e.Table(TDistrict), dKey(w, did), dbuf)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			wantNext[dKey(w, did)] = ds.GetInt64(dbuf, DNextOID)
+		}
+	}
+
+	sys2 := e.System().Crash()
+	e2, _, err := core.Recover(sys2, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range wantNext {
+		if err := e2.RunRO(0, func(tx *core.Txn) error {
+			return tx.Read(e2.Table(TDistrict), key, dbuf)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := ds.GetInt64(dbuf, DNextOID); got != want {
+			t.Fatalf("district %x next_o_id = %d after crash, want %d", key, got, want)
+		}
+	}
+	// And the engine keeps working.
+	d2, err := NewDriver(e2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d2.Next(i % 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

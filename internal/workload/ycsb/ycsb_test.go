@@ -1,0 +1,158 @@
+package ycsb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/pmem"
+)
+
+func smallCfg(w Workload, d Distribution) Config {
+	return Config{Records: 2000, Fields: 4, FieldBytes: 32, Workload: w, Distribution: d}
+}
+
+func newLoaded(t *testing.T, ecfg core.Config, cfg Config) (*core.Engine, *Driver) {
+	t.Helper()
+	ecfg.Threads = 4
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 256 << 20})
+	e, err := core.New(sys, ecfg, TableSpecs(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+func TestLoadAndReadBack(t *testing.T) {
+	cfg := smallCfg(C, Uniform)
+	e, _ := newLoaded(t, core.FalconConfig(), cfg)
+	tbl := e.Table(TableName)
+	s := tbl.Schema()
+	buf := make([]byte, s.TupleSize())
+	for _, k := range []uint64{0, 999, 1999} {
+		if err := e.RunRO(0, func(tx *core.Txn) error { return tx.Read(tbl, k, buf) }); err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if got := s.GetUint64(buf, 0); got != k {
+			t.Fatalf("key column = %d, want %d", got, k)
+		}
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, w := range AllWorkloads {
+		for _, dist := range []Distribution{Uniform, Zipfian} {
+			w, dist := w, dist
+			t.Run(w.String()+"/"+dist.String(), func(t *testing.T) {
+				cfg := smallCfg(w, dist)
+				_, d := newLoaded(t, core.FalconConfig(), cfg)
+				for i := 0; i < 100; i++ {
+					if err := d.Next(i % 4); err != nil {
+						t.Fatalf("txn %d: %v", i, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestWorkloadAcrossEngines(t *testing.T) {
+	for _, ecfg := range []core.Config{core.FalconConfig(), core.InpConfig(), core.OutpConfig(), core.ZenSConfig()} {
+		ecfg := ecfg
+		t.Run(ecfg.Name, func(t *testing.T) {
+			cfg := smallCfg(A, Zipfian)
+			_, d := newLoaded(t, ecfg, cfg)
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						if err := d.Next(w); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		})
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	const n = 10000
+	z := newZipf(n, 0.99, 42)
+	counts := make(map[uint64]int)
+	for i := 0; i < 200000; i++ {
+		v := z.Next()
+		if v >= n {
+			t.Fatalf("zipf value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate: with θ=0.99 it draws ~10% of mass.
+	if counts[0] < 200000/20 {
+		t.Fatalf("rank 0 drawn %d times; distribution not skewed", counts[0])
+	}
+	if counts[0] <= counts[100] {
+		t.Fatal("rank 0 not hotter than rank 100")
+	}
+}
+
+func TestZetaFinite(t *testing.T) {
+	for _, n := range []uint64{1, 10, 100000} {
+		z := zetaStatic(n, 0.99)
+		if math.IsNaN(z) || math.IsInf(z, 0) || z <= 0 {
+			t.Fatalf("zeta(%d) = %f", n, z)
+		}
+	}
+}
+
+func TestScrambleStaysInRange(t *testing.T) {
+	for v := uint64(0); v < 10000; v++ {
+		if s := scramble(v, 1000); s >= 1000 {
+			t.Fatalf("scramble(%d) = %d out of range", v, s)
+		}
+	}
+}
+
+func TestInsertsGrowTable(t *testing.T) {
+	cfg := smallCfg(D, Uniform)
+	e, d := newLoaded(t, core.FalconConfig(), cfg)
+	for i := 0; i < 200; i++ {
+		if err := d.Next(i % 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Frontier beyond the initial records implies inserts landed.
+	if d.nextInsert.Load() == cfg.Records {
+		t.Skip("mix produced no inserts in 200 draws (unlikely)")
+	}
+	tbl := e.Table(TableName)
+	buf := make([]byte, tbl.Schema().TupleSize())
+	found := false
+	for k := cfg.Records; k < d.nextInsert.Load(); k++ {
+		if err := e.RunRO(0, func(tx *core.Txn) error { return tx.Read(tbl, k, buf) }); err == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no inserted key readable")
+	}
+}

@@ -1,0 +1,73 @@
+package ycsb
+
+import "math"
+
+// zipfGen draws Zipf-distributed values in [0, n) with skew theta, using the
+// Gray et al. "Quickly generating billion-record synthetic databases"
+// rejection-free method — the standard YCSB generator. It is NOT safe for
+// concurrent use; create one per worker.
+type zipfGen struct {
+	n          uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+	state      uint64
+}
+
+func newZipf(n uint64, theta float64, seed uint64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta, state: seed | 1}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number of order theta.
+// O(n) once per generator; n is bounded by the scaled-down record counts.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) rand01() float64 {
+	// xorshift64*
+	z.state ^= z.state >> 12
+	z.state ^= z.state << 25
+	z.state ^= z.state >> 27
+	return float64(z.state*2685821657736338717>>11) / float64(uint64(1)<<53)
+}
+
+// Next draws the next Zipf value in [0, n).
+func (z *zipfGen) Next() uint64 {
+	u := z.rand01()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// scramble spreads hot Zipf ranks across the keyspace (YCSB's scrambled
+// Zipfian), so hotness is not correlated with key locality.
+func scramble(v, n uint64) uint64 {
+	h := v
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h % n
+}
