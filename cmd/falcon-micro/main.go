@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 )
@@ -19,28 +20,43 @@ import (
 func main() {
 	writes := flag.Int("writes", 1_000_000, "number of random writes per configuration")
 	region := flag.Uint64("region", 512<<20, "target region size in bytes")
+	stats := flag.Bool("stats", false, "print an observability snapshot per configuration")
 	flag.Parse()
 
 	fmt.Println("Figure 3: bandwidth for data stores w/wo clwbs (eADR)")
 	fmt.Printf("%-8s %-18s %-18s\n", "size", "store+sfence", "store+clwb+sfence")
 	for _, size := range []int{256, 128, 64} {
-		plain := run(*writes, size, *region, false)
-		hinted := run(*writes, size, *region, true)
+		plain, psnap := run(*writes, size, *region, false)
+		hinted, hsnap := run(*writes, size, *region, true)
 		fmt.Printf("%-8d %-18s %-18s\n", size, fmtBW(plain), fmtBW(hinted))
+		if *stats {
+			fmt.Printf("--- stats: size=%d store+sfence ---\n%s", size, psnap.Text())
+			fmt.Printf("--- stats: size=%d store+clwb+sfence ---\n%s", size, hsnap.Text())
+		}
 	}
 }
 
-// run measures one configuration and returns bytes/virtual-second.
-func run(writes, size int, region uint64, clwb bool) float64 {
+// run measures one configuration and returns bytes/virtual-second plus the
+// observability snapshot of the run. The tool has no engine, so it registers
+// its own bare phase set over the store loop: stores are heap-write time,
+// sfence/clwb are flush time.
+func run(writes, size int, region uint64, clwb bool) (float64, obs.Snapshot) {
 	sys := pmem.NewSystem(pmem.Config{
 		Mode:        pmem.EADR,
 		DeviceBytes: region,
 	})
 	clk := sim.NewClock()
+	reg := obs.NewRegistry()
+	var ps obs.PhaseSet
+	reg.Register("store", func(s *obs.Snapshot) { ps.AddTo(&s.PhaseNanos) })
+	reg.Register("pmem", func(s *obs.Snapshot) { s.Mem = sys.Dev.Stats().Snapshot() })
 	buf := make([]byte, size)
 	for i := range buf {
 		buf[i] = byte(i)
 	}
+	var pt obs.PhaseTimer
+	pt.Start(&ps, clk)
+	pt.To(obs.PhaseHeapWrite)
 	// xorshift for the random aligned addresses (the paper's setup).
 	state := uint64(0x9E3779B97F4A7C15)
 	mask := region/uint64(size) - 1
@@ -50,16 +66,20 @@ func run(writes, size int, region uint64, clwb bool) float64 {
 		state ^= state >> 27
 		addr := (state * 2685821657736338717 & mask) * uint64(size)
 		sys.Space.Write(clk, addr, buf)
+		pt.To(obs.PhaseFlush)
 		if clwb {
 			sys.Space.SFence(clk) // the paper's <sfence + clwbs> sequence
 			sys.Space.CLWB(clk, addr, size)
 		} else {
 			sys.Space.SFence(clk)
 		}
+		pt.To(obs.PhaseHeapWrite)
 	}
+	pt.To(obs.PhaseFlush)
 	sys.Cache.FlushAll(clk)
+	pt.Finish()
 	total := float64(writes) * float64(size)
-	return total / (float64(clk.Nanos()) / 1e9)
+	return total / (float64(clk.Nanos()) / 1e9), reg.Snapshot()
 }
 
 func fmtBW(bps float64) string {

@@ -27,6 +27,7 @@ func main() {
 	warmup := flag.Int("warmup", 150, "warmup transactions per worker")
 	records := flag.Uint64("records", 50_000, "YCSB records")
 	tupleSize := flag.Bool("tuplesize", false, "run Figure 12 (tuple-size sweep) instead of Figure 11")
+	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per sweep cell")
 	flag.Parse()
 
 	threads := parseInts(*threadList)
@@ -36,6 +37,10 @@ func main() {
 	}
 	fig11(threads, *txns, *warmup, *records)
 }
+
+// showStats is set by -stats: print each cell's observability snapshot
+// after its table row.
+var showStats bool
 
 func parseInts(s string) []int {
 	var out []int
@@ -81,6 +86,7 @@ func fig11(threads []int, txns, warmup int, records uint64) {
 		fmt.Println()
 		for _, ecfg := range bench.AblationConfigs() {
 			fmt.Printf("%-26s", ecfg.Name)
+			var blocks []string
 			for _, th := range threads {
 				cfg := ecfg
 				cfg.Threads = th
@@ -91,8 +97,15 @@ func fig11(threads []int, txns, warmup int, records uint64) {
 					continue
 				}
 				fmt.Printf("%10.3f", res.MTxnPerSec)
+				if showStats {
+					blocks = append(blocks, fmt.Sprintf("--- stats: %s %s %d threads ---\n%s",
+						ecfg.Name, wl.name, th, res.Obs.Text()))
+				}
 			}
 			fmt.Println()
+			for _, b := range blocks {
+				fmt.Print(b)
+			}
 		}
 		fmt.Println()
 	}
@@ -130,6 +143,7 @@ func fig12(threads []int, txns, warmup int) {
 			cfg := ecfg
 			cfg.Threads = th
 			fmt.Printf("%-20s", fmt.Sprintf("%s-%d", ecfg.Name, th))
+			var blocks []string
 			for _, sz := range sizes {
 				res, err := runTupleSize(cfg, th, sz, txns, warmup)
 				if err != nil {
@@ -138,8 +152,15 @@ func fig12(threads []int, txns, warmup int) {
 					continue
 				}
 				fmt.Printf("%10.1f", res.MTxnPerSec*1000)
+				if showStats {
+					blocks = append(blocks, fmt.Sprintf("--- stats: %s-%d tuple=%s ---\n%s",
+						ecfg.Name, th, fmtSize(sz), res.Obs.Text()))
+				}
 			}
 			fmt.Println()
+			for _, b := range blocks {
+				fmt.Print(b)
+			}
 		}
 	}
 }

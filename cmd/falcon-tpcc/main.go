@@ -23,6 +23,7 @@ func main() {
 	warmup := flag.Int("warmup", 100, "warmup transactions per worker")
 	latency := flag.Bool("latency", false, "run Figure 8 (latency, OCC) instead of Figure 7")
 	algos := flag.String("cc", "", "comma-free CC filter, e.g. OCC (default: all six)")
+	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per engine × CC cell")
 	flag.Parse()
 
 	if *warehouses == 0 {
@@ -61,6 +62,7 @@ func main() {
 	fmt.Println()
 	for _, ecfg := range bench.EngineConfigs() {
 		fmt.Printf("%-24s", ecfg.Name)
+		var blocks []string
 		for _, a := range ccList {
 			res, err := runOne(ecfg, a, wcfg, opts)
 			if err != nil {
@@ -69,10 +71,21 @@ func main() {
 				continue
 			}
 			fmt.Printf("%10.3f", res.MTxnPerSec)
+			if showStats {
+				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s ---\n%s",
+					ecfg.Name, a, res.Obs.Text()))
+			}
 		}
 		fmt.Println()
+		for _, b := range blocks {
+			fmt.Print(b)
+		}
 	}
 }
+
+// showStats is set by -stats: print each cell's observability snapshot
+// after its table row.
+var showStats bool
 
 func runOne(ecfg core.Config, algo cc.Algo, wcfg tpcc.Config, opts bench.Options) (*bench.Result, error) {
 	ecfg.Threads = opts.Workers
@@ -101,6 +114,9 @@ func fig8(wcfg tpcc.Config, opts bench.Options) {
 		fmt.Printf("%-24s %12.2f %12.2f %12.2f %12.2f\n", ecfg.Name,
 			us(res.LatAvgNanos[no]), us(res.LatP95Nanos[no]),
 			us(res.LatAvgNanos[pay]), us(res.LatP95Nanos[pay]))
+		if showStats {
+			fmt.Printf("--- stats: %s OCC ---\n%s", ecfg.Name, res.Obs.Text())
+		}
 	}
 }
 

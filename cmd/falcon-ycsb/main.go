@@ -21,6 +21,7 @@ func main() {
 	txns := flag.Int("txns", 1000, "measured transactions per worker")
 	warmup := flag.Int("warmup", 300, "warmup transactions per worker")
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
+	stats := flag.Bool("stats", false, "print an observability snapshot per engine × workload cell")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -47,6 +48,7 @@ func main() {
 		ecfg.Threads = *threads
 		ecfg.CC = cc.OCC
 		fmt.Printf("%-24s", ecfg.Name)
+		var blocks []string
 		for _, wcfg := range cells {
 			e, d, err := bench.NewYCSB(ecfg, wcfg)
 			if err != nil {
@@ -63,7 +65,14 @@ func main() {
 				continue
 			}
 			fmt.Printf("%12.3f", res.MTxnPerSec)
+			if *stats {
+				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s/%s ---\n%s",
+					ecfg.Name, wcfg.Workload, wcfg.Distribution, res.Obs.Text()))
+			}
 		}
 		fmt.Println()
+		for _, b := range blocks {
+			fmt.Print(b)
+		}
 	}
 }

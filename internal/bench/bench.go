@@ -6,10 +6,10 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"falcon/internal/core"
+	"falcon/internal/obs"
 	"falcon/internal/sim"
 )
 
@@ -48,16 +48,32 @@ type Result struct {
 	// (txns_w / clock_w), the fixed-duration estimator: a real benchmark
 	// runs workers for equal time, not equal transaction counts.
 	MTxnPerSec float64
-	// LatAvgNanos / LatP95Nanos are per-class virtual latencies.
+	// LatAvgNanos and the quantile columns are per-class virtual latencies
+	// recovered from log2-bucketed histograms (avg is exact; quantiles are
+	// within one bucket of the sorted-sample value).
 	LatAvgNanos []uint64
+	LatP50Nanos []uint64
 	LatP95Nanos []uint64
+	LatP99Nanos []uint64
 	// MediaWrites/MediaReads/WriteAmp summarize NVM traffic during the run.
 	MediaWrites uint64
 	MediaReads  uint64
 	WriteAmp    float64
+	// Obs is the full observability snapshot of the measured phase: commit
+	// path phase nanos, abort taxonomy, WAL/hot-set gauges, and the pmem
+	// counters diffed against the post-warmup baseline.
+	Obs obs.Snapshot
 }
 
 // Run executes the workload on the engine and measures it.
+//
+// Latency samples are accumulated into per-worker, per-class histograms of
+// constant size, so memory does not grow with TxnsPerWorker and no sample
+// slices outlive the run. Warmup exclusion is two-sided: the engine-owned
+// counters are zeroed by ResetCounters, while the pmem hardware counters —
+// owned by the shared simulated device, which warmup leaves warm — are
+// excluded by diffing point-in-time snapshots (see the ResetCounters doc
+// comment for why they cannot simply be reset).
 func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, error) {
 	if opts.Workers <= 0 || opts.Workers > e.Config().Threads {
 		opts.Workers = e.Config().Threads
@@ -66,7 +82,14 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 		opts.Classes = 1
 	}
 
-	runPhase := func(txns int, record bool, samples [][]uint64) error {
+	// hists[w] is worker w's private per-class histogram row; workers never
+	// share a histogram, so recording needs no synchronization.
+	hists := make([][]obs.Histogram, opts.Workers)
+	for w := range hists {
+		hists[w] = make([]obs.Histogram, opts.Classes)
+	}
+
+	runPhase := func(txns int, record bool) error {
 		var wg sync.WaitGroup
 		errs := make([]error, opts.Workers)
 		for w := 0; w < opts.Workers; w++ {
@@ -85,7 +108,7 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 						if class < 0 || class >= opts.Classes {
 							class = 0
 						}
-						samples[w] = append(samples[w], uint64(class)<<56|(clk.Nanos()-before))
+						hists[w][class].Observe(clk.Nanos() - before)
 					}
 				}
 			}(w)
@@ -100,23 +123,19 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 	}
 
 	if opts.WarmupPerWorker > 0 {
-		if err := runPhase(opts.WarmupPerWorker, false, nil); err != nil {
+		if err := runPhase(opts.WarmupPerWorker, false); err != nil {
 			return nil, err
 		}
 	}
 	e.ResetClocks()
 	e.ResetCounters()
-	stats0 := e.System().Dev.Stats().Snapshot()
+	obs0 := e.ObsSnapshot() // post-warmup baseline (pmem counters et al.)
 
-	samples := make([][]uint64, opts.Workers)
-	for w := range samples {
-		samples[w] = make([]uint64, 0, opts.TxnsPerWorker)
-	}
-	if err := runPhase(opts.TxnsPerWorker, true, samples); err != nil {
+	if err := runPhase(opts.TxnsPerWorker, true); err != nil {
 		return nil, err
 	}
 
-	stats1 := e.System().Dev.Stats().Snapshot().Sub(stats0)
+	snap := e.ObsSnapshot().Sub(obs0)
 	res := &Result{
 		Engine:       e.Config().Name,
 		Workload:     workload,
@@ -124,44 +143,41 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 		Committed:    e.Commits(),
 		Aborted:      e.Aborts(),
 		VirtualNanos: sim.MaxNanos(e.Clocks()),
-		MediaWrites:  stats1.MediaWrites,
-		MediaReads:   stats1.MediaReads,
-		WriteAmp:     stats1.WriteAmplification(),
+		MediaWrites:  snap.Mem.MediaWrites,
+		MediaReads:   snap.Mem.MediaReads,
+		WriteAmp:     snap.Mem.WriteAmplification(),
+		Obs:          snap,
 	}
 	for w := 0; w < opts.Workers; w++ {
 		if n := e.Clock(w).Nanos(); n > 0 {
 			res.MTxnPerSec += float64(opts.TxnsPerWorker) / (float64(n) / 1e9) / 1e6
 		}
 	}
-	res.LatAvgNanos, res.LatP95Nanos = percentiles(samples, opts.Classes)
+	res.LatAvgNanos, res.LatP50Nanos, res.LatP95Nanos, res.LatP99Nanos = percentiles(hists, opts.Classes)
 	return res, nil
 }
 
-const latMask = (uint64(1) << 56) - 1
-
-func percentiles(samples [][]uint64, classes int) (avg, p95 []uint64) {
-	perClass := make([][]uint64, classes)
-	for _, list := range samples {
-		for _, s := range list {
-			c := int(s >> 56)
-			perClass[c] = append(perClass[c], s&latMask)
-		}
-	}
+// percentiles merges the per-worker histogram rows class-wise and extracts
+// the mean and the p50/p95/p99 quantiles per class.
+func percentiles(hists [][]obs.Histogram, classes int) (avg, p50, p95, p99 []uint64) {
 	avg = make([]uint64, classes)
+	p50 = make([]uint64, classes)
 	p95 = make([]uint64, classes)
-	for c, list := range perClass {
-		if len(list) == 0 {
+	p99 = make([]uint64, classes)
+	for c := 0; c < classes; c++ {
+		var merged obs.Histogram
+		for w := range hists {
+			merged.Merge(&hists[w][c])
+		}
+		if merged.Count() == 0 {
 			continue
 		}
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		var sum uint64
-		for _, v := range list {
-			sum += v
-		}
-		avg[c] = sum / uint64(len(list))
-		p95[c] = list[(len(list)*95)/100]
+		avg[c] = merged.Mean()
+		p50[c] = merged.Quantile(0.50)
+		p95[c] = merged.Quantile(0.95)
+		p99[c] = merged.Quantile(0.99)
 	}
-	return avg, p95
+	return avg, p50, p95, p99
 }
 
 // FormatMTxn renders throughput the way the paper's axes do.

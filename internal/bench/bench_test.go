@@ -41,13 +41,25 @@ func TestRunYCSBSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(e, "YCSB-A", Options{Workers: 2, TxnsPerWorker: 100},
+	res, err := Run(e, "YCSB-A", Options{Workers: 2, TxnsPerWorker: 100, WarmupPerWorker: 50},
 		func(w int) (int, error) { return 0, d.Next(w) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.MTxnPerSec <= 0 {
 		t.Fatalf("bad result %+v", res)
+	}
+	// The attached snapshot covers exactly the measured phase: warmup
+	// transactions must not leak into it.
+	if res.Obs.Commits != res.Committed {
+		t.Fatalf("snapshot commits = %d, result committed = %d", res.Obs.Commits, res.Committed)
+	}
+	if res.Obs.TotalPhaseNanos() == 0 {
+		t.Fatal("snapshot has no phase time")
+	}
+	if res.LatP50Nanos[0] > res.LatP95Nanos[0] || res.LatP95Nanos[0] > res.LatP99Nanos[0] {
+		t.Fatalf("quantiles not monotone: %d/%d/%d",
+			res.LatP50Nanos[0], res.LatP95Nanos[0], res.LatP99Nanos[0])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"falcon/internal/cc"
 	"falcon/internal/index"
+	"falcon/internal/obs"
 	"falcon/internal/wal"
 )
 
@@ -22,6 +23,7 @@ func (tx *Txn) Commit() error {
 		return errors.New("core: commit on finished transaction")
 	}
 	if tx.ro || (len(tx.writes) == 0 && len(tx.inserts) == 0) {
+		tx.pt.To(obs.PhaseCC)
 		tx.releaseLocksKeep()
 		tx.finish(true)
 		return nil
@@ -37,10 +39,15 @@ func (tx *Txn) Commit() error {
 // the updates in place, fence, then run the selective data flush.
 func (tx *Txn) commitInPlace() error {
 	if tx.log.Full() {
+		tx.setAbortCause(obs.AbortLogFull)
 		return ErrTxnTooLarge
 	}
 	if tx.e.cfg.CC.Base() == cc.OCC {
-		if !tx.occValidate() {
+		prev := tx.pt.To(obs.PhaseCC)
+		ok := tx.occValidate()
+		tx.pt.To(prev)
+		if !ok {
+			tx.setAbortCause(obs.AbortValidation)
 			return ErrConflict
 		}
 	}
@@ -48,7 +55,9 @@ func (tx *Txn) commitInPlace() error {
 
 	// Durable commit point (Algorithm 1 line 2 + the write-set contents
 	// already in the window).
+	tx.pt.To(obs.PhaseLogAppend)
 	tx.log.Commit(tx.clk)
+	tx.pt.To(obs.PhaseHeapWrite)
 
 	// Apply in log order so later ops override earlier ones.
 	apply := tx.applyOrder()
@@ -85,7 +94,9 @@ func (tx *Txn) commitInPlace() error {
 	}
 	tx.e.nvm.SFence(tx.clk) // Algorithm 1 line 7
 
+	tx.pt.To(obs.PhaseFlush)
 	tx.selectiveFlush(apply)
+	tx.pt.To(obs.PhaseCC)
 	tx.releaseLocksCommitted()
 	tx.finish(true)
 	return nil
@@ -128,11 +139,13 @@ func (tx *Txn) applyInsert(ins *insertOp) {
 	} else {
 		lock.Store(tx.tid & cc.WTSMaskTO)
 	}
+	prev := tx.pt.To(obs.PhaseIndexUpdate)
 	t.primary.Insert(tx.clk, ins.key, ins.slot) // unique: reservation held
 	if t.secondary != nil {
 		secKey := t.schema.GetUint64(payload, t.secondaryCol)
 		t.secondary.Insert(tx.clk, secKey, ins.slot)
 	}
+	tx.pt.To(prev)
 	tx.e.resv.release(tx.clk, t.id, ins.key)
 	if tx.e.tcache != nil {
 		tx.e.tcache.put(tx.clk, t.id, ins.key, payload)
@@ -145,10 +158,12 @@ func (tx *Txn) applyDelete(w *writeOp) {
 	// horizon is a fresh TID so in-flight readers that resolved this slot
 	// drain before it is recycled.
 	t.heap.Retire(tx.clk, w.slot, tx.tid, tx.e.gen.Next(tx.worker), false)
+	prev := tx.pt.To(obs.PhaseIndexUpdate)
 	t.primary.Delete(tx.clk, w.key)
 	if t.secondary != nil {
 		t.secondary.Delete(tx.clk, w.secKey)
 	}
+	tx.pt.To(prev)
 	if tx.e.tcache != nil {
 		tx.e.tcache.invalidate(tx.clk, t.id, w.key)
 	}
@@ -191,6 +206,8 @@ func (tx *Txn) publishVersions() {
 	if !tx.e.cfg.CC.MultiVersion() {
 		return
 	}
+	prev := tx.pt.To(obs.PhaseHeapWrite)
+	defer tx.pt.To(prev)
 	seen := make(map[*Table]map[uint64]struct{}, 2)
 	for i := range tx.writes {
 		w := &tx.writes[i]
@@ -297,6 +314,7 @@ func (tx *Txn) Abort() {
 	if tx.done {
 		return
 	}
+	tx.pt.To(obs.PhaseAbort)
 	if tx.log != nil {
 		tx.log.Abort(tx.clk)
 	}
@@ -308,6 +326,11 @@ func (tx *Txn) Abort() {
 		ins.t.heap.Retire(tx.clk, ins.slot, 0, 0, false)
 	}
 	tx.clk.Advance(tx.e.sys.Cost().AbortOverhead)
+	// A bare Abort with no recorded failure is a voluntary rollback.
+	if !tx.causeSet {
+		tx.cause = obs.AbortUserRollback
+	}
+	tx.e.abortReasons.Inc(tx.cause)
 	tx.finish(false)
 }
 
@@ -321,6 +344,7 @@ func (tx *Txn) finish(committed bool) {
 	// Version-heap GC piggybacks on worker threads (§5.4: no dedicated
 	// recycling threads).
 	if tx.e.cfg.CC.MultiVersion() && committed {
+		tx.pt.To(obs.PhaseHeapWrite)
 		min := tx.e.active.Min()
 		for _, t := range tx.e.tables {
 			if t.versions != nil {
@@ -328,6 +352,7 @@ func (tx *Txn) finish(committed bool) {
 			}
 		}
 	}
+	tx.pt.Finish()
 	tx.done = true
 }
 
@@ -343,6 +368,7 @@ func (e *Engine) Run(worker int, fn func(*Txn) error) error {
 		if err == nil {
 			return nil
 		}
+		tx.classifyAbort(err)
 		tx.Abort()
 		if errors.Is(err, ErrConflict) {
 			runtime.Gosched() // break retry lockstep between workers
@@ -363,6 +389,7 @@ func (e *Engine) RunRO(worker int, fn func(*Txn) error) error {
 		if err == nil {
 			return nil
 		}
+		tx.classifyAbort(err)
 		tx.Abort()
 		if errors.Is(err, ErrConflict) {
 			runtime.Gosched()

@@ -10,6 +10,7 @@ import (
 	"falcon/internal/heap"
 	"falcon/internal/index"
 	"falcon/internal/layout"
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 	"falcon/internal/version"
@@ -53,6 +54,13 @@ type Engine struct {
 
 	commits atomic.Uint64
 	aborts  atomic.Uint64
+
+	// phases holds the per-worker commit-path phase accumulators (same
+	// single-owner contract as clocks); abortReasons is the cross-worker
+	// abort taxonomy; reg is the unified stats registry over all of it.
+	phases       []obs.PhaseSet
+	abortReasons obs.AbortCounts
+	reg          *obs.Registry
 }
 
 // workerScratch is a per-worker reusable payload buffer, padded against
@@ -153,10 +161,44 @@ func (e *Engine) initWorkers() {
 	e.clocks = make([]*sim.Clock, e.cfg.Threads)
 	e.hot = make([]*hotSet, e.cfg.Threads)
 	e.scratch = make([]workerScratch, e.cfg.Threads)
+	e.phases = make([]obs.PhaseSet, e.cfg.Threads)
 	for i := range e.clocks {
 		e.clocks[i] = sim.NewClock()
 		e.hot[i] = newHotSet(e.cfg.HotTupleCap, e.sys.Cost())
 	}
+	e.initObs()
+}
+
+// initObs wires the unified stats registry. Collectors read the engine's
+// live structures at snapshot time, so registration order and later window
+// creation don't matter. Single-owner sources (phase sets, windows, hot
+// sets) are coherent only while workers are quiescent — see obs.Registry.
+func (e *Engine) initObs() {
+	e.reg = obs.NewRegistry()
+	e.reg.Register("engine", func(s *obs.Snapshot) {
+		s.Commits += e.commits.Load()
+		s.Aborts += e.aborts.Load()
+		for i := range e.phases {
+			e.phases[i].AddTo(&s.PhaseNanos)
+		}
+		reasons := e.abortReasons.Snapshot()
+		for i, n := range reasons {
+			s.AbortCounts[i] += n
+		}
+	})
+	e.reg.Register("wal", func(s *obs.Snapshot) {
+		for _, w := range e.windows {
+			s.WAL.Add(w.Stats())
+		}
+	})
+	e.reg.Register("hot-set", func(s *obs.Snapshot) {
+		for _, h := range e.hot {
+			s.Hot.Add(h.stats)
+		}
+	})
+	e.reg.Register("pmem", func(s *obs.Snapshot) {
+		s.Mem = e.sys.Dev.Stats().Snapshot()
+	})
 }
 
 // scratchFor returns worker's reusable buffer of at least n bytes. Callers
@@ -318,10 +360,45 @@ func (e *Engine) Commits() uint64 { return e.commits.Load() }
 // Aborts returns the number of aborted transaction attempts.
 func (e *Engine) Aborts() uint64 { return e.aborts.Load() }
 
-// ResetCounters zeroes the commit/abort counters.
+// ResetCounters zeroes every engine-owned observability counter: commits,
+// aborts, the abort-reason taxonomy, the per-worker phase accumulators, the
+// WAL window gauges, and the hot-set counters. It must only run while no
+// transactions are in flight (between benchmark phases).
+//
+// The pmem.Stats hardware counters are deliberately NOT reset here: they
+// belong to the shared simulated device (Engine.System().Dev), which can
+// outlive this engine and carries cache/XPBuffer state across phases —
+// warmup-dirtied lines may write back during measurement, and zeroing the
+// counters mid-stream would leave other holders of the same System with a
+// corrupt baseline. Warmup exclusion for hardware events therefore diffs two
+// point-in-time copies via pmem.Snapshot.Sub (see bench.Run and
+// obs.Snapshot.Sub).
 func (e *Engine) ResetCounters() {
 	e.commits.Store(0)
 	e.aborts.Store(0)
+	e.abortReasons.Reset()
+	for i := range e.phases {
+		e.phases[i].Reset()
+	}
+	for _, w := range e.windows {
+		w.ResetStats()
+	}
+	for _, h := range e.hot {
+		h.stats = obs.HotSetStats{}
+	}
+}
+
+// Obs returns the engine's unified stats registry.
+func (e *Engine) Obs() *obs.Registry { return e.reg }
+
+// ObsSnapshot assembles one observability snapshot (engine counters, phase
+// accounting, abort taxonomy, WAL/hot-set gauges, pmem hardware counters).
+// Workers must be quiescent.
+func (e *Engine) ObsSnapshot() obs.Snapshot { return e.reg.Snapshot() }
+
+// AbortReasons returns the per-reason abort counters; they sum to Aborts().
+func (e *Engine) AbortReasons() [obs.NumAbortReasons]uint64 {
+	return e.abortReasons.Snapshot()
 }
 
 // MinActive returns the oldest running TID (MaxUint64 when idle); exported

@@ -7,6 +7,7 @@ import (
 
 	"falcon/internal/cc"
 	"falcon/internal/heap"
+	"falcon/internal/obs"
 	"falcon/internal/sim"
 	"falcon/internal/wal"
 )
@@ -30,7 +31,11 @@ import (
 func (tx *Txn) commitOutOfPlace() error {
 	e := tx.e
 	if e.cfg.CC.Base() == cc.OCC {
-		if !tx.occValidate() {
+		prev := tx.pt.To(obs.PhaseCC)
+		ok := tx.occValidate()
+		tx.pt.To(prev)
+		if !ok {
+			tx.setAbortCause(obs.AbortValidation)
 			return ErrConflict
 		}
 	}
@@ -69,6 +74,7 @@ func (tx *Txn) commitOutOfPlace() error {
 	}
 
 	// Phase 1: materialize new versions / durable delete records.
+	tx.pt.To(obs.PhaseHeapWrite)
 	for _, g := range groups {
 		if g.del {
 			// The deleted flag + TID on the old slot is the durable delete
@@ -76,7 +82,9 @@ func (tx *Txn) commitOutOfPlace() error {
 			// an uncommitted delete can be rolled back by recovery.
 			g.t.heap.MarkDeleted(tx.clk, g.oldSlot, tx.tid)
 			if e.cfg.Flush != FlushNone {
+				tx.pt.To(obs.PhaseFlush)
 				g.t.heap.CLWBSlot(tx.clk, g.oldSlot, 0, 0)
+				tx.pt.To(obs.PhaseHeapWrite)
 			}
 			continue
 		}
@@ -121,7 +129,9 @@ func (tx *Txn) commitOutOfPlace() error {
 		g.t.heap.SetOccupied(tx.clk, slot)
 		g.t.heap.WriteTS(tx.clk, slot, tx.tid)
 		if e.cfg.Flush != FlushNone {
+			tx.pt.To(obs.PhaseFlush)
 			g.t.heap.CLWBSlot(tx.clk, slot, 0, g.t.schema.TupleSize())
+			tx.pt.To(obs.PhaseHeapWrite)
 		}
 		if e.tcache != nil {
 			e.tcache.put(tx.clk, g.t.id, g.key, scratch)
@@ -134,15 +144,20 @@ func (tx *Txn) commitOutOfPlace() error {
 		ins.t.heap.SetOccupied(tx.clk, ins.slot)
 		ins.t.heap.WriteTS(tx.clk, ins.slot, tx.tid)
 		if e.cfg.Flush != FlushNone {
+			tx.pt.To(obs.PhaseFlush)
 			ins.t.heap.CLWBSlot(tx.clk, ins.slot, 0, ins.t.schema.TupleSize())
+			tx.pt.To(obs.PhaseHeapWrite)
 		}
 	}
 
-	// Phase 2: the commit marker (durable point).
+	// Phase 2: the commit marker — the out-of-place engines' durable point,
+	// accounted as log work (it plays the commit record's role).
+	tx.pt.To(obs.PhaseLogAppend)
 	e.nvm.SFence(tx.clk)
 	tx.writeMarker()
 
 	// Phase 3: index repointing, version chains, invalidation.
+	tx.pt.To(obs.PhaseIndexUpdate)
 	for _, g := range groups {
 		if g.del {
 			g.t.primary.Delete(tx.clk, g.key)
@@ -159,7 +174,9 @@ func (tx *Txn) commitOutOfPlace() error {
 			if e.tcache != nil {
 				e.tcache.invalidate(tx.clk, g.t.id, g.key)
 			}
+			tx.pt.To(obs.PhaseHeapWrite)
 			g.t.heap.Link(tx.clk, g.oldSlot, e.gen.Next(tx.worker))
+			tx.pt.To(obs.PhaseIndexUpdate)
 			continue
 		}
 		lock, _ := g.t.heap.Meta(g.oldSlot)
@@ -174,7 +191,9 @@ func (tx *Txn) commitOutOfPlace() error {
 			newLock.Store(tx.tid & cc.WTSMaskTO)
 		}
 		if g.t.versions != nil {
+			tx.pt.To(obs.PhaseHeapWrite)
 			g.t.versions.PublishRef(tx.clk, tx.worker, g.newSlot, beginTS, tx.tid, g.oldSlot)
+			tx.pt.To(obs.PhaseIndexUpdate)
 		}
 		g.t.primary.Update(tx.clk, g.key, g.newSlot)
 		if g.t.secondary != nil {
@@ -187,7 +206,9 @@ func (tx *Txn) commitOutOfPlace() error {
 				_ = g.t.secondary.Insert(tx.clk, g.newSec, g.newSlot)
 			}
 		}
+		tx.pt.To(obs.PhaseHeapWrite)
 		g.t.heap.Retire(tx.clk, g.oldSlot, tx.tid, e.gen.Next(tx.worker), true)
+		tx.pt.To(obs.PhaseIndexUpdate)
 	}
 	for i := range tx.inserts {
 		ins := &tx.inserts[i]
@@ -208,6 +229,7 @@ func (tx *Txn) commitOutOfPlace() error {
 		}
 	}
 
+	tx.pt.To(obs.PhaseCC)
 	tx.releaseLocksCommitted()
 	tx.finish(true)
 	return nil

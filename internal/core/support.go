@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 )
@@ -21,6 +22,9 @@ type hotSet struct {
 	seq  uint64
 	m    map[hotKey]uint64 // key -> last-touch sequence
 	cost sim.CostModel
+	// stats counts hits (flushes elided), misses (tuples newly tracked) and
+	// evictions; single-owner like the set itself.
+	stats obs.HotSetStats
 }
 
 type hotKey struct {
@@ -40,8 +44,10 @@ func (h *hotSet) contains(clk *sim.Clock, table uint8, slot uint64) bool {
 	if _, ok := h.m[k]; ok {
 		h.seq++
 		h.m[k] = h.seq
+		h.stats.Hits++
 		return true
 	}
+	h.stats.Misses++
 	return false
 }
 
@@ -62,6 +68,7 @@ func (h *hotSet) add(clk *sim.Clock, table uint8, slot uint64) {
 		}
 	}
 	delete(h.m, victim)
+	h.stats.Evictions++
 }
 
 // reservations provides short-lived key latches for inserts: a transaction

@@ -7,6 +7,7 @@ import (
 
 	"falcon/internal/cc"
 	"falcon/internal/heap"
+	"falcon/internal/obs"
 	"falcon/internal/sim"
 	"falcon/internal/wal"
 )
@@ -41,11 +42,47 @@ type Txn struct {
 
 	log *wal.TxnLog // in-place engines: the write set lives in the window
 
+	// pt attributes this transaction's virtual time to commit-path phases;
+	// cause records the abort reason determined at the failure site (see
+	// setAbortCause), consumed by Abort.
+	pt       obs.PhaseTimer
+	cause    obs.AbortReason
+	causeSet bool
+
 	writes     []writeOp
 	inserts    []insertOp
 	reads      []readRef
 	locks      []lockRef
 	occIntents []lockRef // OCC write intents awaiting validation-time locks
+}
+
+// setAbortCause records why this transaction is about to abort. Later calls
+// overwrite earlier ones: the error that finally forces the abort wins (a
+// conflict swallowed and retried by the closure must not misattribute a
+// subsequent user rollback).
+func (tx *Txn) setAbortCause(r obs.AbortReason) {
+	tx.cause, tx.causeSet = r, true
+}
+
+// classifyAbort maps the error that aborted the transaction onto the abort
+// taxonomy. ErrConflict keeps a more specific cause recorded at the failure
+// site (occValidate marks validation failures) and otherwise defaults to a
+// lock conflict, which covers the exec-time no-wait CC rejections.
+func (tx *Txn) classifyAbort(err error) {
+	switch {
+	case errors.Is(err, ErrRollback):
+		tx.setAbortCause(obs.AbortUserRollback)
+	case errors.Is(err, ErrTableFull):
+		tx.setAbortCause(obs.AbortTableFull)
+	case errors.Is(err, ErrTxnTooLarge):
+		tx.setAbortCause(obs.AbortLogFull)
+	case errors.Is(err, ErrConflict):
+		if !tx.causeSet {
+			tx.setAbortCause(obs.AbortLockConflict)
+		}
+	default:
+		tx.setAbortCause(obs.AbortOther)
+	}
 }
 
 // writeOp is one buffered update or delete.
@@ -104,12 +141,17 @@ func (e *Engine) BeginRO(worker int) *Txn {
 
 func (e *Engine) begin(worker int, ro bool) *Txn {
 	clk := e.clocks[worker]
-	clk.Advance(e.sys.Cost().TxnOverhead)
 	tid := e.gen.Next(worker)
 	e.active.Set(worker, tid)
 	tx := &Txn{e: e, worker: worker, tid: tid, clk: clk, ro: ro}
+	// Start the phase timer before charging the begin overhead so the phases
+	// partition every transactional nanosecond (the overhead lands in exec).
+	tx.pt.Start(&e.phases[worker], clk)
+	clk.Advance(e.sys.Cost().TxnOverhead)
 	if e.cfg.Update == InPlace && !ro {
+		tx.pt.To(obs.PhaseLogAppend)
 		tx.log = e.windows[worker].Begin(clk, tid)
+		tx.pt.To(obs.PhaseExec)
 	}
 	return tx
 }
@@ -417,8 +459,16 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 	return nil
 }
 
-// writeIntent acquires the algorithm-specific right to write slot.
+// writeIntent acquires the algorithm-specific right to write slot,
+// attributing the acquisition to the CC phase.
 func (tx *Txn) writeIntent(t *Table, slot uint64) error {
+	prev := tx.pt.To(obs.PhaseCC)
+	err := tx.writeIntentCC(t, slot)
+	tx.pt.To(prev)
+	return err
+}
+
+func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
 	if tx.ownsWrite(t, slot) {
 		return nil
 	}
@@ -503,17 +553,29 @@ func (tx *Txn) updatePendingInsert(ins *insertOp, off int, data []byte) error {
 }
 
 // ---- log append helpers (in-place) ----
+//
+// Each helper attributes its window writes to the log-append phase before
+// returning to the caller's phase.
 
 func (tx *Txn) logAppendUpdate(t *Table, slot, key uint64, off int, data []byte) int {
-	return tx.log.AppendUpdate(tx.clk, t.id, slot, key, off, data)
+	prev := tx.pt.To(obs.PhaseLogAppend)
+	pos := tx.log.AppendUpdate(tx.clk, t.id, slot, key, off, data)
+	tx.pt.To(prev)
+	return pos
 }
 
 func (tx *Txn) logAppendInsert(t *Table, slot, key uint64, payload []byte) int {
-	return tx.log.AppendInsert(tx.clk, t.id, slot, key, payload[:t.schema.TupleSize()])
+	prev := tx.pt.To(obs.PhaseLogAppend)
+	pos := tx.log.AppendInsert(tx.clk, t.id, slot, key, payload[:t.schema.TupleSize()])
+	tx.pt.To(prev)
+	return pos
 }
 
 func (tx *Txn) logAppendDelete(t *Table, slot, key uint64) int {
-	return tx.log.AppendDelete(tx.clk, t.id, slot, key)
+	prev := tx.pt.To(obs.PhaseLogAppend)
+	pos := tx.log.AppendDelete(tx.clk, t.id, slot, key)
+	tx.pt.To(prev)
+	return pos
 }
 
 // ---- own-write bookkeeping ----

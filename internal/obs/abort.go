@@ -1,0 +1,83 @@
+package obs
+
+import "sync/atomic"
+
+// AbortReason classifies why a transaction attempt aborted. Every abort is
+// attributed to exactly one reason, so the per-reason counters sum to the
+// engine's total abort count.
+type AbortReason uint8
+
+const (
+	// AbortLockConflict is an execution-time concurrency-control conflict:
+	// a failed lock acquisition, a timestamp-order violation, or a torn read
+	// under OCC/TO no-wait reads.
+	AbortLockConflict AbortReason = iota
+	// AbortValidation is an OCC commit-time validation failure (a read-set
+	// version changed, or a write-set lock could not be taken).
+	AbortValidation
+	// AbortUserRollback is a caller-requested abort: ErrRollback from the
+	// transaction closure (TPC-C NewOrder's 1%) or a bare Txn.Abort.
+	AbortUserRollback
+	// AbortTableFull is a heap-capacity failure (ErrTableFull).
+	AbortTableFull
+	// AbortLogFull is a redo log that exhausted the window's overflow
+	// capacity (ErrTxnTooLarge).
+	AbortLogFull
+	// AbortOther is any abort the engine could not attribute (e.g. an
+	// application error like ErrNotFound propagating out of Engine.Run).
+	AbortOther
+
+	// NumAbortReasons is the number of reasons (array sizing).
+	NumAbortReasons = int(AbortOther) + 1
+)
+
+// AbortReasonNames maps AbortReason values to stable short names.
+var AbortReasonNames = [NumAbortReasons]string{
+	"lock-conflict", "validation", "user-rollback", "table-full", "log-full", "other",
+}
+
+func (r AbortReason) String() string {
+	if int(r) < NumAbortReasons {
+		return AbortReasonNames[r]
+	}
+	return "unknown"
+}
+
+// AbortCounts tallies aborts by reason. Unlike the single-owner phase
+// accumulators, aborts from all workers land here, so the counters are
+// atomic and safe to read at any time.
+type AbortCounts struct {
+	counts [NumAbortReasons]atomic.Uint64
+}
+
+// Inc records one abort for reason r (out-of-range reasons count as Other).
+func (a *AbortCounts) Inc(r AbortReason) {
+	if int(r) >= NumAbortReasons {
+		r = AbortOther
+	}
+	a.counts[r].Add(1)
+}
+
+// Snapshot copies the per-reason counters.
+func (a *AbortCounts) Snapshot() (out [NumAbortReasons]uint64) {
+	for i := range a.counts {
+		out[i] = a.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the sum over all reasons.
+func (a *AbortCounts) Total() uint64 {
+	var sum uint64
+	for i := range a.counts {
+		sum += a.counts[i].Load()
+	}
+	return sum
+}
+
+// Reset zeroes all reason counters.
+func (a *AbortCounts) Reset() {
+	for i := range a.counts {
+		a.counts[i].Store(0)
+	}
+}

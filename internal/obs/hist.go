@@ -1,0 +1,123 @@
+package obs
+
+import "math/bits"
+
+// histBuckets covers bits.Len64 of any uint64: bucket 0 holds the value 0,
+// bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram is a fixed-size log2-bucketed histogram of virtual-time samples.
+// It replaces unbounded per-transaction sample slices: memory is constant
+// (~0.5 KiB) regardless of sample count, and quantiles are recovered by
+// within-bucket linear interpolation, clamped to the observed min/max so a
+// single-sample histogram reports that sample exactly.
+//
+// Like PhaseSet it is single-owner while being written; Merge and the
+// quantile queries are for after the workers have stopped.
+type Histogram struct {
+	counts   [histBuckets]uint64
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min and Max return the exact observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the exact mean sample (0 when empty).
+func (h *Histogram) Mean() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Merge adds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Quantile returns the q-quantile (q in [0,1]) using the same nearest-rank
+// convention as sorting the samples and taking index floor(count*q), with
+// linear interpolation inside the chosen bucket. Results are clamped to the
+// observed [min, max], so the error is bounded by one bucket width.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	target := uint64(float64(h.count) * q)
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if target < cum+c {
+			lo, hi := bucketBounds(i)
+			// Interpolate at the rank's position within this bucket.
+			v := lo + uint64(float64(hi-lo)*float64(target-cum)/float64(c))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i == 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(1)<<i - 1
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"falcon/internal/sim"
+)
+
+func TestPhaseTimerPartitionsClock(t *testing.T) {
+	var ps PhaseSet
+	clk := sim.NewClock()
+	var pt PhaseTimer
+
+	pt.Start(&ps, clk)
+	clk.Advance(100) // exec
+	prev := pt.To(PhaseCC)
+	clk.Advance(30) // cc
+	pt.To(prev)
+	clk.Advance(20) // exec again
+	pt.To(PhaseLogAppend)
+	clk.Advance(50)
+	pt.To(PhaseFlush)
+	clk.Advance(7)
+	pt.Finish()
+
+	want := map[Phase]uint64{PhaseExec: 120, PhaseCC: 30, PhaseLogAppend: 50, PhaseFlush: 7}
+	var sum uint64
+	for p := Phase(0); int(p) < NumPhases; p++ {
+		if got := ps.Nanos(p); got != want[p] {
+			t.Errorf("phase %s = %d, want %d", p, got, want[p])
+		}
+		sum += ps.Nanos(p)
+	}
+	if sum != clk.Nanos() {
+		t.Errorf("phase sum %d != clock %d — phases must partition the clock", sum, clk.Nanos())
+	}
+}
+
+func TestPhaseTimerNilSetIsInert(t *testing.T) {
+	clk := sim.NewClock()
+	var pt PhaseTimer
+	// Never started: every method must be a safe no-op.
+	pt.To(PhaseCC)
+	pt.Finish()
+	clk.Advance(10)
+	pt.To(PhaseFlush)
+}
+
+func TestPhaseSetReset(t *testing.T) {
+	var ps PhaseSet
+	clk := sim.NewClock()
+	var pt PhaseTimer
+	pt.Start(&ps, clk)
+	clk.Advance(42)
+	pt.Finish()
+	ps.Reset()
+	for p := 0; p < NumPhases; p++ {
+		if ps.Nanos(Phase(p)) != 0 {
+			t.Fatalf("phase %d not reset", p)
+		}
+	}
+}
+
+func TestAbortCountsConcurrent(t *testing.T) {
+	var a AbortCounts
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Inc(AbortReason(g % NumAbortReasons))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", a.Total())
+	}
+	snap := a.Snapshot()
+	var sum uint64
+	for _, n := range snap {
+		sum += n
+	}
+	if sum != a.Total() {
+		t.Errorf("snapshot sum %d != total %d", sum, a.Total())
+	}
+	a.Inc(AbortReason(250)) // out of range folds into Other
+	if a.Snapshot()[AbortOther] == 0 {
+		t.Error("out-of-range reason must count as other")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Error("reset must zero all reasons")
+	}
+}
+
+func TestRegistrySnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	var ps PhaseSet
+	var ac AbortCounts
+	commits := uint64(0)
+	r.Register("engine", func(s *Snapshot) {
+		s.Commits = commits
+		s.Aborts = ac.Total()
+		ps.AddTo(&s.PhaseNanos)
+		s.AbortCounts = ac.Snapshot()
+	})
+	r.Register("wal", func(s *Snapshot) {
+		s.WAL.Add(WALStats{Begins: 5, Commits: 4, Aborts: 1, BytesLogged: 400, MaxRecordBytes: 200, SlotBytes: 4096})
+	})
+
+	clk := sim.NewClock()
+	var pt PhaseTimer
+	pt.Start(&ps, clk)
+	clk.Advance(10)
+	pt.To(PhaseCC)
+	clk.Advance(5)
+	pt.Finish()
+	commits = 3
+	ac.Inc(AbortLockConflict)
+
+	s0 := r.Snapshot()
+	if s0.Commits != 3 || s0.Aborts != 1 || s0.TotalPhaseNanos() != 15 {
+		t.Fatalf("snapshot: %+v", s0)
+	}
+	if s0.WAL.MeanRecordBytes() != 100 {
+		t.Errorf("mean record = %d, want 100", s0.WAL.MeanRecordBytes())
+	}
+
+	// More activity, then diff.
+	commits = 10
+	ac.Inc(AbortValidation)
+	diff := r.Snapshot().Sub(s0)
+	if diff.Commits != 7 || diff.Aborts != 1 {
+		t.Errorf("diff commits/aborts = %d/%d, want 7/1", diff.Commits, diff.Aborts)
+	}
+	if diff.AbortCounts[AbortValidation] != 1 || diff.AbortCounts[AbortLockConflict] != 0 {
+		t.Errorf("diff abort counts = %v", diff.AbortCounts)
+	}
+
+	if got := r.Sources(); len(got) != 2 || got[0] != "engine" || got[1] != "wal" {
+		t.Errorf("sources = %v", got)
+	}
+}
+
+func TestSnapshotRenderers(t *testing.T) {
+	var s Snapshot
+	s.Commits = 7
+	s.Aborts = 2
+	s.AbortCounts[AbortValidation] = 2
+	s.PhaseNanos[PhaseExec] = 60
+	s.PhaseNanos[PhaseLogAppend] = 40
+	s.WAL = WALStats{Begins: 9, Commits: 7, Aborts: 2, BytesLogged: 700, SlotBytes: 4096}
+	s.Hot = HotSetStats{Hits: 3, Misses: 4, Evictions: 1}
+
+	text := s.Text()
+	for _, want := range []string{"commits 7", "validation 2", "log-append", "40", "hot-set", "wal", "pmem"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("JSON not parseable: %v", err)
+	}
+	phases, ok := decoded["phase_nanos"].(map[string]any)
+	if !ok || phases["log-append"] != float64(40) {
+		t.Errorf("phase_nanos = %v", decoded["phase_nanos"])
+	}
+	if decoded["commits"] != float64(7) {
+		t.Errorf("commits = %v", decoded["commits"])
+	}
+}

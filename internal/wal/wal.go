@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 )
@@ -98,7 +99,22 @@ type Window struct {
 	base  uint64
 	cfg   Config
 	cur   int // round-robin slot cursor (volatile; rebuilt trivially)
+	// stats accumulates the window's observability gauges. Single-writer
+	// like the window itself: only the owning thread updates it, and
+	// snapshots are taken while workers are quiescent.
+	stats obs.WALStats
 }
+
+// Stats returns a copy of the window's accumulated gauges, with the slot
+// capacity filled in as the occupancy denominator.
+func (w *Window) Stats() obs.WALStats {
+	s := w.stats
+	s.SlotBytes = uint64(w.cfg.SlotBytes)
+	return s
+}
+
+// ResetStats zeroes the window's gauges (between benchmark phases).
+func (w *Window) ResetStats() { w.stats = obs.WALStats{} }
 
 // NewWindow creates a window at base. The caller provides a region of
 // BytesNeeded(cfg) bytes. Slots are formatted as StateFree.
@@ -135,6 +151,10 @@ func (w *Window) ovfOff(i int) uint64 {
 func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
 	i := w.cur
 	w.cur = (w.cur + 1) % w.cfg.Slots
+	w.stats.Begins++
+	if w.stats.Begins > uint64(w.cfg.Slots) {
+		w.stats.Wraps++ // reclaiming a previously used slot: the window cycled
+	}
 	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
 	var hdr [24]byte
 	binary.LittleEndian.PutUint64(hdr[hdrState:], StateUncommitted)
@@ -194,6 +214,7 @@ func (l *TxnLog) append(clk *sim.Clock, b []byte) int {
 	if rem > 0 {
 		if l.extPos+rem > l.w.cfg.OverflowBytes {
 			l.full = true
+			l.w.stats.FullRejects++
 			return -1
 		}
 		l.w.space.Write(clk, l.w.ovfOff(l.slot)+uint64(l.extPos), src)
@@ -246,6 +267,16 @@ func (l *TxnLog) AppendDelete(clk *sim.Clock, table uint8, slot, key uint64) int
 // fence. From this instant the transaction is durable (Algorithm 1 line 2).
 func (l *TxnLog) Commit(clk *sim.Clock) {
 	base := l.w.slotOff(l.slot)
+	recBytes := uint64(l.pos-hdrBytes) + uint64(l.extPos)
+	l.w.stats.Commits++
+	l.w.stats.BytesLogged += recBytes
+	if recBytes > l.w.stats.MaxRecordBytes {
+		l.w.stats.MaxRecordBytes = recBytes
+	}
+	if l.extPos > 0 {
+		l.w.stats.Overflows++
+		l.w.stats.OverflowBytes += uint64(l.extPos)
+	}
 	var cnt [12]byte
 	binary.LittleEndian.PutUint32(cnt[0:], uint32(l.nops))
 	binary.LittleEndian.PutUint32(cnt[4:], uint32(l.pos-hdrBytes))
@@ -274,6 +305,7 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 
 // Abort releases the slot without publishing (state back to FREE).
 func (l *TxnLog) Abort(clk *sim.Clock) {
+	l.w.stats.Aborts++
 	var st [8]byte
 	binary.LittleEndian.PutUint64(st[:], StateFree)
 	l.w.space.Write(clk, l.w.slotOff(l.slot)+hdrState, st[:])

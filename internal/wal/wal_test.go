@@ -239,3 +239,50 @@ func TestSmallWindowStaysCacheResident(t *testing.T) {
 			st.MediaWrites, dataWrites)
 	}
 }
+
+func TestWindowStats(t *testing.T) {
+	w, _ := newTestWindow(Config{Slots: 2, SlotBytes: 256, OverflowBytes: 256})
+	clk := sim.NewClock()
+
+	// Txn 1: small committed record.
+	l := w.Begin(clk, 1)
+	l.AppendUpdate(clk, 0, 0, 0, 0, []byte("abcd"))
+	l.Commit(clk)
+	// Txn 2: aborted.
+	l = w.Begin(clk, 2)
+	l.Abort(clk)
+	// Txn 3: wraps the 2-slot window and spills into overflow.
+	l = w.Begin(clk, 3)
+	big := bytes.Repeat([]byte{9}, 300)
+	if l.AppendUpdate(clk, 0, 0, 0, 0, big) < 0 {
+		t.Fatal("append should spill, not fail")
+	}
+	l.Commit(clk)
+	// Txn 4: exhausts even the overflow region.
+	l = w.Begin(clk, 4)
+	if l.AppendUpdate(clk, 0, 0, 0, 0, bytes.Repeat([]byte{9}, 1024)) >= 0 {
+		t.Fatal("append should fail")
+	}
+
+	s := w.Stats()
+	if s.Begins != 4 || s.Wraps != 2 {
+		t.Errorf("begins/wraps = %d/%d, want 4/2", s.Begins, s.Wraps)
+	}
+	if s.Commits != 2 || s.Aborts != 1 {
+		t.Errorf("commits/aborts = %d/%d, want 2/1", s.Commits, s.Aborts)
+	}
+	if s.Overflows != 1 || s.OverflowBytes == 0 {
+		t.Errorf("overflows = %d (%d B), want 1 spilled record", s.Overflows, s.OverflowBytes)
+	}
+	if s.FullRejects != 1 {
+		t.Errorf("full rejects = %d, want 1", s.FullRejects)
+	}
+	if s.MaxRecordBytes <= s.MeanRecordBytes() || s.SlotBytes != 256 {
+		t.Errorf("record gauges: max %d mean %d slot %d", s.MaxRecordBytes, s.MeanRecordBytes(), s.SlotBytes)
+	}
+
+	w.ResetStats()
+	if w.Stats().Begins != 0 || w.Stats().Commits != 0 {
+		t.Error("ResetStats must zero the gauges")
+	}
+}
