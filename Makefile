@@ -1,0 +1,26 @@
+# Convenience targets; everything also works with plain go commands.
+
+.PHONY: build test race bench bench-quick sweep
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The race lane CI runs: -short trims property-check sample counts.
+race:
+	go test -race -short ./internal/obs ./internal/bench ./internal/pmem ./internal/core
+
+# Append a full host-performance run (micro ops, one YCSB cell, the default
+# Figure-11 grid) to BENCH_hostperf.json. Compare entries against the first
+# (baseline) run; see README "Tracking host performance".
+bench:
+	go run ./cmd/falcon-hostbench -label "$(shell git rev-parse --short HEAD)"
+
+# Grid-free variant for quick checks (~10 s).
+bench-quick:
+	go run ./cmd/falcon-hostbench -quick -label "$(shell git rev-parse --short HEAD)-quick"
+
+sweep:
+	go run ./cmd/falcon-sweep

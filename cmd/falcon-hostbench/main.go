@@ -1,0 +1,262 @@
+// falcon-hostbench measures the HOST cost of the simulation: wall-clock
+// nanoseconds per simulated pmem operation, per YCSB transaction, and for
+// the default falcon-sweep Figure-11 grid. Virtual-time results (the
+// numbers the paper reports) are independent of everything measured here —
+// this harness tracks how much sweep fits in a CI budget, and whether a
+// change regressed the engine's host hot path.
+//
+// Results append to a JSON baseline file (default BENCH_hostperf.json).
+// Each run adds one entry; speedups are reported against the file's first
+// entry, so the first committed entry is the tracked baseline. Compare runs
+// with: jq '.runs[] | {label, grid_s, pmem_store64_ns}' BENCH_hostperf.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"falcon/internal/bench"
+	"falcon/internal/core"
+	"falcon/internal/pmem"
+	"falcon/internal/sim"
+	"falcon/internal/workload/tpcc"
+	"falcon/internal/workload/ycsb"
+)
+
+// Run is one measurement session appended to the baseline file.
+type Run struct {
+	Label      string  `json:"label"`
+	Date       string  `json:"date"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick,omitempty"`
+	// Host nanoseconds per simulated 64 B operation (32 MiB working set on
+	// a 64 MiB device — miss-heavy, the expensive path).
+	PmemStore64Ns   float64 `json:"pmem_store64_ns"`
+	PmemLoad64Ns    float64 `json:"pmem_load64_ns"`
+	PmemStoreCLWBNs float64 `json:"pmem_store_clwb_ns"`
+	// One end-to-end YCSB-A Zipfian cell (50k records, 8 workers, 600 txns
+	// + 150 warmup each): host seconds for the whole cell including load,
+	// and host nanoseconds per measured transaction.
+	YCSBCellS        float64 `json:"ycsb_cell_s"`
+	YCSBCellNsPerTxn float64 `json:"ycsb_cell_host_ns_per_txn"`
+	// Host seconds for the default falcon-sweep Figure-11 grid
+	// (3 workloads x 5 engines x threads 2,4,8,12,16). Omitted by -quick.
+	GridS float64 `json:"grid_s,omitempty"`
+	// Speedup of this run's grid vs the file's first entry with a grid.
+	GridSpeedupVsBase float64 `json:"grid_speedup_vs_baseline,omitempty"`
+}
+
+// Baseline is the tracked file layout.
+type Baseline struct {
+	Description string `json:"description"`
+	Runs        []Run  `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hostperf.json", "baseline file to append this run to")
+	label := flag.String("label", "", "label for this run (default: hostbench-<date>)")
+	quick := flag.Bool("quick", false, "skip the full Figure-11 grid (CI-friendly, ~10s)")
+	par := flag.Int("par", 0, "concurrent grid cells (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	r := Run{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	if r.Label == "" {
+		r.Label = "hostbench-" + r.Date
+	}
+
+	// Micro loops and the cell take the best of three passes: host noise is
+	// strictly additive, so the minimum is the stablest estimator.
+	r.PmemStore64Ns, r.PmemLoad64Ns, r.PmemStoreCLWBNs = best3(func() (float64, float64, float64) {
+		return pmemMicro(2_000_000)
+	})
+	fmt.Printf("pmem store64:     %8.1f host-ns/op\n", r.PmemStore64Ns)
+	fmt.Printf("pmem load64:      %8.1f host-ns/op\n", r.PmemLoad64Ns)
+	fmt.Printf("pmem store+clwb:  %8.1f host-ns/op\n", r.PmemStoreCLWBNs)
+
+	r.YCSBCellS, r.YCSBCellNsPerTxn, _ = best3(func() (float64, float64, float64) {
+		s, ns := ycsbCell()
+		return s, ns, 0
+	})
+	fmt.Printf("ycsb cell:        %8.3f host-s  (%0.f host-ns/txn)\n", r.YCSBCellS, r.YCSBCellNsPerTxn)
+
+	if !*quick {
+		r.GridS = fig11Grid(*par)
+		fmt.Printf("fig11 grid:       %8.2f host-s\n", r.GridS)
+	}
+
+	base := load(*out)
+	if r.GridS > 0 {
+		for _, prev := range base.Runs {
+			if prev.GridS > 0 {
+				r.GridSpeedupVsBase = prev.GridS / r.GridS
+				fmt.Printf("grid speedup vs %q: %.2fx\n", prev.Label, r.GridSpeedupVsBase)
+				break
+			}
+		}
+	}
+	base.Runs = append(base.Runs, r)
+	save(*out, base)
+	fmt.Println("appended run to", *out)
+}
+
+func load(path string) Baseline {
+	b := Baseline{Description: "Host wall-clock cost of the simulation; virtual-time results are unaffected. First entry is the tracked baseline."}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %s is not a baseline file (%v); starting fresh\n", path, err)
+		return Baseline{Description: b.Description}
+	}
+	return b
+}
+
+func save(path string, b Baseline) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "write baseline:", err)
+		os.Exit(1)
+	}
+}
+
+// pmemMicro mirrors internal/pmem's BenchmarkHost* loop shapes exactly:
+// 64 B ops striding a 32 MiB working set on a 64 MiB device.
+func pmemMicro(n int) (store, loadNs, storeCLWB float64) {
+	sys := pmem.NewSystem(pmem.Config{DeviceBytes: 64 << 20, CacheBytes: 2 << 20})
+	clk := sim.NewClock()
+	buf := make([]byte, 64)
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		sys.Space.Write(clk, uint64(i*64)%(32<<20), buf)
+	}
+	store = float64(time.Since(start).Nanoseconds()) / float64(n)
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		sys.Space.Read(clk, uint64(i*64)%(32<<20), buf)
+	}
+	loadNs = float64(time.Since(start).Nanoseconds()) / float64(n)
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		a := uint64(i*64) % (32 << 20)
+		sys.Space.Write(clk, a, buf)
+		sys.Space.CLWB(clk, a, 64)
+	}
+	storeCLWB = float64(time.Since(start).Nanoseconds()) / float64(n)
+	return store, loadNs, storeCLWB
+}
+
+// best3 runs f three times and keeps the pass with the smallest first
+// value; the values of one pass stay together (mixing minima across passes
+// would fabricate a measurement no pass produced).
+func best3(f func() (float64, float64, float64)) (a, b, c float64) {
+	a, b, c = f()
+	for i := 0; i < 2; i++ {
+		x, y, z := f()
+		if x < a {
+			a, b, c = x, y, z
+		}
+	}
+	return a, b, c
+}
+
+func ycsbCell() (seconds, nsPerTxn float64) {
+	const workers, txns, warmup = 8, 600, 150
+	cfg := core.FalconConfig()
+	cfg.Threads = workers
+	start := time.Now()
+	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
+	if err == nil {
+		_, err = bench.Run(e, "YCSB-A", bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+			func(w int) (int, error) { return 0, d.Next(w) })
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsb cell:", err)
+		os.Exit(1)
+	}
+	seconds = time.Since(start).Seconds()
+	return seconds, seconds * 1e9 / float64(workers*txns)
+}
+
+// fig11Grid times the default falcon-sweep Figure-11 grid: the same cells
+// cmd/falcon-sweep builds with no flags (threads 2,4,8,12,16, 600 txns +
+// 150 warmup per worker, 50k YCSB records, all five ablation engines).
+func fig11Grid(par int) float64 {
+	threads := []int{2, 4, 8, 12, 16}
+	const txns, warmup = 600, 150
+	const records = 50_000
+
+	type workload struct {
+		name string
+		run  func(ecfg core.Config, th int) (*bench.Result, error)
+	}
+	ycsbRun := func(dist ycsb.Distribution) func(core.Config, int) (*bench.Result, error) {
+		return func(ecfg core.Config, th int) (*bench.Result, error) {
+			e, d, err := bench.NewYCSB(ecfg, ycsb.Config{Records: records, Workload: ycsb.A, Distribution: dist})
+			if err != nil {
+				return nil, err
+			}
+			return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+				func(w int) (int, error) { return 0, d.Next(w) })
+		}
+	}
+	workloads := []workload{
+		{"TPC-C", func(ecfg core.Config, th int) (*bench.Result, error) {
+			w := th / 2
+			if w < 2 {
+				w = 2
+			}
+			e, d, err := bench.NewTPCC(ecfg, tpcc.Config{Warehouses: w, Items: 2000, CustomersPerDistrict: 120})
+			if err != nil {
+				return nil, err
+			}
+			return bench.Run(e, "TPC-C", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+				func(w int) (int, error) { return 0, d.Next(w) })
+		}},
+		{"YCSB-A Uniform", ycsbRun(ycsb.Uniform)},
+		{"YCSB-A Zipfian", ycsbRun(ycsb.Zipfian)},
+	}
+
+	var cells []bench.Cell
+	for _, wl := range workloads {
+		for _, ecfg := range bench.AblationConfigs() {
+			for _, th := range threads {
+				wlRun, eng, t := wl.run, ecfg, th
+				cells = append(cells, bench.Cell{
+					Label: fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, t),
+					Run: func() (*bench.Result, error) {
+						cfg := eng
+						cfg.Threads = t
+						return wlRun(cfg, t)
+					},
+				})
+			}
+		}
+	}
+
+	start := time.Now()
+	results := bench.RunCells(cells, par)
+	elapsed := time.Since(start).Seconds()
+	for _, cr := range results {
+		if cr.Err != nil {
+			fmt.Fprintln(os.Stderr, "grid cell", cr.Label, "failed:", cr.Err)
+			os.Exit(1)
+		}
+	}
+	return elapsed
+}

@@ -6,9 +6,15 @@
 //	-tuplesize: Figure 12 — Falcon vs Inp vs Outp on YCSB-A Uniform across
 //	            tuple sizes, at two thread counts, showing where the small
 //	            log window stops helping.
+//
+// Every grid cell builds its own isolated engine, so cells run concurrently
+// (-par) on multi-core hosts; measurements are taken in virtual time, so
+// parallel execution changes wall-clock only. Tables always render in grid
+// order, identical to a sequential run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +33,17 @@ func main() {
 	warmup := flag.Int("warmup", 150, "warmup transactions per worker")
 	records := flag.Uint64("records", 50_000, "YCSB records")
 	tupleSize := flag.Bool("tuplesize", false, "run Figure 12 (tuple-size sweep) instead of Figure 11")
+	par := flag.Int("par", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write per-cell results (incl. latency histograms) as JSON to this file")
 	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per sweep cell")
 	flag.Parse()
 
 	threads := parseInts(*threadList)
 	if *tupleSize {
-		fig12(threads, *txns, *warmup)
+		fig12(threads, *txns, *warmup, *par, *jsonPath)
 		return
 	}
-	fig11(threads, *txns, *warmup, *records)
+	fig11(threads, *txns, *warmup, *records, *par, *jsonPath)
 }
 
 // showStats is set by -stats: print each cell's observability snapshot
@@ -55,7 +63,31 @@ func parseInts(s string) []int {
 	return out
 }
 
-func fig11(threads []int, txns, warmup int, records uint64) {
+// jsonCell is one grid cell in the -json export.
+type jsonCell struct {
+	Figure   string        `json:"figure"`
+	Workload string        `json:"workload"`
+	Engine   string        `json:"engine"`
+	Threads  int           `json:"threads"`
+	Extra    string        `json:"extra,omitempty"`
+	Result   *bench.Result `json:"result,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+func writeJSON(path string, cells []jsonCell) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(cells, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "json export:", err)
+	}
+}
+
+func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath string) {
 	type workload struct {
 		name string
 		run  func(ecfg core.Config, th int) (*bench.Result, error)
@@ -77,6 +109,38 @@ func fig11(threads []int, txns, warmup int, records uint64) {
 		{"YCSB-A Zipfian", ycsbRunner(records, ycsb.Zipfian, txns, warmup)},
 	}
 
+	// Build the full grid as isolated cells (workload-major, engine, thread —
+	// the same order the tables render in), run them, then render.
+	engines := bench.AblationConfigs()
+	var cells []bench.Cell
+	var meta []jsonCell
+	for _, wl := range workloads {
+		for _, ecfg := range engines {
+			for _, th := range threads {
+				wlRun, eng, t := wl.run, ecfg, th
+				cells = append(cells, bench.Cell{
+					Label: fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, th),
+					Run: func() (*bench.Result, error) {
+						cfg := eng
+						cfg.Threads = t
+						return wlRun(cfg, t)
+					},
+				})
+				meta = append(meta, jsonCell{Figure: "11", Workload: wl.name, Engine: ecfg.Name, Threads: th})
+			}
+		}
+	}
+	results := bench.RunCells(cells, par)
+	for i := range results {
+		if results[i].Err != nil {
+			meta[i].Err = results[i].Err.Error()
+		} else {
+			meta[i].Result = results[i].Res
+		}
+	}
+	writeJSON(jsonPath, meta)
+
+	i := 0
 	for _, wl := range workloads {
 		fmt.Printf("Figure 11 (%s): throughput (MTxn/s) by thread count\n", wl.name)
 		fmt.Printf("%-26s", "engine")
@@ -84,22 +148,21 @@ func fig11(threads []int, txns, warmup int, records uint64) {
 			fmt.Printf("%10d", th)
 		}
 		fmt.Println()
-		for _, ecfg := range bench.AblationConfigs() {
+		for _, ecfg := range engines {
 			fmt.Printf("%-26s", ecfg.Name)
 			var blocks []string
 			for _, th := range threads {
-				cfg := ecfg
-				cfg.Threads = th
-				res, err := wl.run(cfg, th)
-				if err != nil {
+				cr := results[i]
+				i++
+				if cr.Err != nil {
 					fmt.Printf("%10s", "ERR")
-					fmt.Fprintln(os.Stderr, ecfg.Name, th, err)
+					fmt.Fprintln(os.Stderr, ecfg.Name, th, cr.Err)
 					continue
 				}
-				fmt.Printf("%10.3f", res.MTxnPerSec)
+				fmt.Printf("%10.3f", cr.Res.MTxnPerSec)
 				if showStats {
 					blocks = append(blocks, fmt.Sprintf("--- stats: %s %s %d threads ---\n%s",
-						ecfg.Name, wl.name, th, res.Obs.Text()))
+						ecfg.Name, wl.name, th, cr.Res.Obs.Text()))
 				}
 			}
 			fmt.Println()
@@ -125,12 +188,41 @@ func ycsbRunner(records uint64, dist ycsb.Distribution, txns, warmup int) func(c
 // fig12 sweeps tuple size. The paper sweeps 64 KB – 1 MB on 256 GB of PMem;
 // scaled down we sweep 256 B – 64 KB, which crosses the same regimes: redo
 // fits the small log window → spills to overflow → overflow dominates.
-func fig12(threads []int, txns, warmup int) {
+func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 	sizes := []int{256, 1024, 4096, 16 << 10, 64 << 10}
 	engines := []core.Config{core.FalconConfig(), core.InpConfig(), core.OutpConfig()}
 	if len(threads) > 2 {
 		threads = []int{threads[1], threads[len(threads)-1]}
 	}
+
+	var cells []bench.Cell
+	var meta []jsonCell
+	for _, th := range threads {
+		for _, ecfg := range engines {
+			for _, sz := range sizes {
+				eng, t, s := ecfg, th, sz
+				cells = append(cells, bench.Cell{
+					Label: fmt.Sprintf("%s-%d/%s", eng.Name, t, fmtSize(s)),
+					Run: func() (*bench.Result, error) {
+						cfg := eng
+						cfg.Threads = t
+						return runTupleSize(cfg, t, s, txns, warmup)
+					},
+				})
+				meta = append(meta, jsonCell{Figure: "12", Workload: "YCSB-A Uniform",
+					Engine: ecfg.Name, Threads: th, Extra: fmtSize(sz)})
+			}
+		}
+	}
+	results := bench.RunCells(cells, par)
+	for i := range results {
+		if results[i].Err != nil {
+			meta[i].Err = results[i].Err.Error()
+		} else {
+			meta[i].Result = results[i].Res
+		}
+	}
+	writeJSON(jsonPath, meta)
 
 	fmt.Println("Figure 12: YCSB-A Uniform throughput (KTxn/s) by tuple size")
 	fmt.Printf("%-20s", "engine-threads")
@@ -138,23 +230,23 @@ func fig12(threads []int, txns, warmup int) {
 		fmt.Printf("%10s", fmtSize(sz))
 	}
 	fmt.Println()
+	i := 0
 	for _, th := range threads {
 		for _, ecfg := range engines {
-			cfg := ecfg
-			cfg.Threads = th
 			fmt.Printf("%-20s", fmt.Sprintf("%s-%d", ecfg.Name, th))
 			var blocks []string
 			for _, sz := range sizes {
-				res, err := runTupleSize(cfg, th, sz, txns, warmup)
-				if err != nil {
+				cr := results[i]
+				i++
+				if cr.Err != nil {
 					fmt.Printf("%10s", "ERR")
-					fmt.Fprintln(os.Stderr, ecfg.Name, th, sz, err)
+					fmt.Fprintln(os.Stderr, ecfg.Name, th, sz, cr.Err)
 					continue
 				}
-				fmt.Printf("%10.1f", res.MTxnPerSec*1000)
+				fmt.Printf("%10.1f", cr.Res.MTxnPerSec*1000)
 				if showStats {
 					blocks = append(blocks, fmt.Sprintf("--- stats: %s-%d tuple=%s ---\n%s",
-						ecfg.Name, th, fmtSize(sz), res.Obs.Text()))
+						ecfg.Name, th, fmtSize(sz), cr.Res.Obs.Text()))
 				}
 			}
 			fmt.Println()

@@ -55,6 +55,9 @@ type Result struct {
 	LatP50Nanos []uint64
 	LatP95Nanos []uint64
 	LatP99Nanos []uint64
+	// LatHists is the merged per-class latency distribution (log2 buckets),
+	// for offline analysis beyond the fixed quantile columns above.
+	LatHists []obs.HistogramDump
 	// MediaWrites/MediaReads/WriteAmp summarize NVM traffic during the run.
 	MediaWrites uint64
 	MediaReads  uint64
@@ -153,22 +156,25 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 			res.MTxnPerSec += float64(opts.TxnsPerWorker) / (float64(n) / 1e9) / 1e6
 		}
 	}
-	res.LatAvgNanos, res.LatP50Nanos, res.LatP95Nanos, res.LatP99Nanos = percentiles(hists, opts.Classes)
+	res.LatAvgNanos, res.LatP50Nanos, res.LatP95Nanos, res.LatP99Nanos, res.LatHists =
+		percentiles(hists, opts.Classes)
 	return res, nil
 }
 
 // percentiles merges the per-worker histogram rows class-wise and extracts
-// the mean and the p50/p95/p99 quantiles per class.
-func percentiles(hists [][]obs.Histogram, classes int) (avg, p50, p95, p99 []uint64) {
+// the mean, the p50/p95/p99 quantiles, and the full bucket dump per class.
+func percentiles(hists [][]obs.Histogram, classes int) (avg, p50, p95, p99 []uint64, dumps []obs.HistogramDump) {
 	avg = make([]uint64, classes)
 	p50 = make([]uint64, classes)
 	p95 = make([]uint64, classes)
 	p99 = make([]uint64, classes)
+	dumps = make([]obs.HistogramDump, classes)
 	for c := 0; c < classes; c++ {
 		var merged obs.Histogram
 		for w := range hists {
 			merged.Merge(&hists[w][c])
 		}
+		dumps[c] = merged.Dump()
 		if merged.Count() == 0 {
 			continue
 		}
@@ -177,7 +183,7 @@ func percentiles(hists [][]obs.Histogram, classes int) (avg, p50, p95, p99 []uin
 		p95[c] = merged.Quantile(0.95)
 		p99[c] = merged.Quantile(0.99)
 	}
-	return avg, p50, p95, p99
+	return avg, p50, p95, p99, dumps
 }
 
 // FormatMTxn renders throughput the way the paper's axes do.

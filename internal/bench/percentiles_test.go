@@ -32,7 +32,7 @@ func TestPercentilesPerClass(t *testing.T) {
 		{0, 0, 100}, {0, 0, 200}, {0, 1, 1000},
 		{1, 0, 300}, {1, 1, 3000}, {1, 1, 2000},
 	})
-	avg, p50, p95, p99 := percentiles(hists, 2)
+	avg, p50, p95, p99, _ := percentiles(hists, 2)
 	if avg[0] != 200 {
 		t.Errorf("class 0 avg = %d, want 200 (mean is exact)", avg[0])
 	}
@@ -55,7 +55,7 @@ func TestPercentilesPerClass(t *testing.T) {
 
 func TestPercentilesEmptyClass(t *testing.T) {
 	hists := mkHists(1, 3, [][3]uint64{{0, 0, 5}})
-	avg, p50, p95, p99 := percentiles(hists, 3)
+	avg, p50, p95, p99, _ := percentiles(hists, 3)
 	for _, c := range []int{1, 2} {
 		if avg[c] != 0 || p50[c] != 0 || p95[c] != 0 || p99[c] != 0 {
 			t.Errorf("empty class %d must report all-zero, got avg=%d p50=%d p95=%d p99=%d",
@@ -70,7 +70,7 @@ func TestPercentilesEmptyClass(t *testing.T) {
 func TestPercentilesSingleSample(t *testing.T) {
 	// One sample: min == max clamping makes every quantile exact.
 	hists := mkHists(1, 1, [][3]uint64{{0, 0, 777}})
-	avg, p50, p95, p99 := percentiles(hists, 1)
+	avg, p50, p95, p99, _ := percentiles(hists, 1)
 	if avg[0] != 777 || p50[0] != 777 || p95[0] != 777 || p99[0] != 777 {
 		t.Errorf("single sample must be exact at every quantile: avg=%d p50=%d p95=%d p99=%d",
 			avg[0], p50[0], p95[0], p99[0])
@@ -86,8 +86,8 @@ func TestPercentilesMergesAcrossWorkers(t *testing.T) {
 	whole := mkHists(1, 1, [][3]uint64{
 		{0, 0, 10}, {0, 0, 20}, {0, 0, 30}, {0, 0, 40},
 	})
-	a1, b1, c1, d1 := percentiles(split, 1)
-	a2, b2, c2, d2 := percentiles(whole, 1)
+	a1, b1, c1, d1, _ := percentiles(split, 1)
+	a2, b2, c2, d2, _ := percentiles(whole, 1)
 	if a1[0] != a2[0] || b1[0] != b2[0] || c1[0] != c2[0] || d1[0] != d2[0] {
 		t.Errorf("worker split changed results: %v/%v/%v/%v vs %v/%v/%v/%v",
 			a1[0], b1[0], c1[0], d1[0], a2[0], b2[0], c2[0], d2[0])

@@ -163,7 +163,9 @@ func (e *Engine) initWorkers() {
 	e.scratch = make([]workerScratch, e.cfg.Threads)
 	e.phases = make([]obs.PhaseSet, e.cfg.Threads)
 	for i := range e.clocks {
-		e.clocks[i] = sim.NewClock()
+		// Worker clocks carry the worker id as a shard hint so the pmem
+		// layer can route each worker's event counters to its own shard.
+		e.clocks[i] = sim.NewWorkerClock(i)
 		e.hot[i] = newHotSet(e.cfg.HotTupleCap, e.sys.Cost())
 	}
 	e.initObs()

@@ -13,18 +13,29 @@ import (
 // dirty lines stay in the (persistent) cache until natural eviction —
 // which for genuinely hot tuples means almost never.
 //
-// It is single-owner (one worker thread), so it needs no locking. The
-// capacity is small (the paper uses "a small LRU cache"), so eviction by
-// linear scan is cheap on the host; the virtual cost charged is one DRAM
-// access per operation.
+// It is single-owner (one worker thread), so it needs no locking. Recency
+// is an intrusive doubly-linked list over a fixed node array: once the set
+// reaches capacity every add evicts, and the earlier find-min-sequence map
+// scan made that O(cap) map iteration per tracked tuple — a measurable
+// slice of TPC-C host time. The list evicts the same victim the scan chose
+// (sequence order is recency order), so simulated behaviour is unchanged;
+// the virtual cost charged is still one DRAM access per operation.
 type hotSet struct {
-	cap  int
-	seq  uint64
-	m    map[hotKey]uint64 // key -> last-touch sequence
-	cost sim.CostModel
+	cap   int
+	m     map[hotKey]int // key -> node index
+	nodes []hotNode
+	head  int // most recently used (-1 = empty)
+	tail  int // least recently used (-1 = empty)
+	free  int // free-list head through next links (-1 = full)
+	cost  sim.CostModel
 	// stats counts hits (flushes elided), misses (tuples newly tracked) and
 	// evictions; single-owner like the set itself.
 	stats obs.HotSetStats
+}
+
+type hotNode struct {
+	key        hotKey
+	prev, next int
 }
 
 type hotKey struct {
@@ -33,7 +44,48 @@ type hotKey struct {
 }
 
 func newHotSet(capacity int, cost sim.CostModel) *hotSet {
-	return &hotSet{cap: capacity, m: make(map[hotKey]uint64, capacity+1), cost: cost}
+	if capacity < 1 {
+		capacity = 1
+	}
+	h := &hotSet{
+		cap:   capacity,
+		m:     make(map[hotKey]int, capacity+1),
+		nodes: make([]hotNode, capacity),
+		head:  -1,
+		tail:  -1,
+		cost:  cost,
+	}
+	for i := range h.nodes {
+		h.nodes[i].next = i + 1
+	}
+	h.nodes[capacity-1].next = -1
+	h.free = 0
+	return h
+}
+
+// touchFront moves node i to the MRU end of the list.
+func (h *hotSet) touchFront(i int) {
+	if h.head == i {
+		return
+	}
+	n := &h.nodes[i]
+	if n.prev != -1 {
+		h.nodes[n.prev].next = n.next
+	}
+	if n.next != -1 {
+		h.nodes[n.next].prev = n.prev
+	} else if h.tail == i {
+		h.tail = n.prev
+	}
+	n.prev = -1
+	n.next = h.head
+	if h.head != -1 {
+		h.nodes[h.head].prev = i
+	}
+	h.head = i
+	if h.tail == -1 {
+		h.tail = i
+	}
 }
 
 // contains reports whether the tuple is tracked hot, refreshing its
@@ -41,9 +93,8 @@ func newHotSet(capacity int, cost sim.CostModel) *hotSet {
 func (h *hotSet) contains(clk *sim.Clock, table uint8, slot uint64) bool {
 	clk.Advance(h.cost.DRAMFirstLine)
 	k := hotKey{table, slot}
-	if _, ok := h.m[k]; ok {
-		h.seq++
-		h.m[k] = h.seq
+	if i, ok := h.m[k]; ok {
+		h.touchFront(i)
 		h.stats.Hits++
 		return true
 	}
@@ -55,20 +106,40 @@ func (h *hotSet) contains(clk *sim.Clock, table uint8, slot uint64) bool {
 // (Algorithm 1 line 11).
 func (h *hotSet) add(clk *sim.Clock, table uint8, slot uint64) {
 	clk.Advance(h.cost.DRAMFirstLine)
-	h.seq++
-	h.m[hotKey{table, slot}] = h.seq
-	if len(h.m) <= h.cap {
+	k := hotKey{table, slot}
+	if i, ok := h.m[k]; ok {
+		h.touchFront(i)
 		return
 	}
-	var victim hotKey
-	min := h.seq + 1
-	for k, s := range h.m {
-		if s < min {
-			min, victim = s, k
+	i := h.free
+	if i != -1 {
+		h.free = h.nodes[i].next
+	} else {
+		// Full: reuse the LRU node. The new entry is by definition the most
+		// recent, so it can never be its own victim.
+		i = h.tail
+		n := &h.nodes[i]
+		delete(h.m, n.key)
+		h.tail = n.prev
+		if h.tail != -1 {
+			h.nodes[h.tail].next = -1
+		} else {
+			h.head = -1
 		}
+		h.stats.Evictions++
 	}
-	delete(h.m, victim)
-	h.stats.Evictions++
+	n := &h.nodes[i]
+	n.key = k
+	n.prev = -1
+	n.next = h.head
+	if h.head != -1 {
+		h.nodes[h.head].prev = i
+	}
+	h.head = i
+	if h.tail == -1 {
+		h.tail = i
+	}
+	h.m[k] = i
 }
 
 // reservations provides short-lived key latches for inserts: a transaction

@@ -46,9 +46,8 @@ func btreeNodes(capacity uint64) uint64 {
 }
 
 type node struct {
-	id   uint64
-	buf  [nodeBytes]byte
-	tree *BTreeIndex
+	id  uint64
+	buf [nodeBytes]byte
 }
 
 func (n *node) leaf() bool { return n.buf[0] == 0 }
@@ -169,8 +168,8 @@ func (t *BTreeIndex) Bytes() uint64 { return 64 + t.cap*nodeBytes }
 
 func (t *BTreeIndex) nodeOff(id uint64) uint64 { return t.base + 64 + id*nodeBytes }
 
-func (t *BTreeIndex) load(clk *sim.Clock, id uint64) *node {
-	n := &node{id: id, tree: t}
+func (t *BTreeIndex) loadInto(clk *sim.Clock, id uint64, n *node) *node {
+	n.id = id
 	t.space.Read(clk, t.nodeOff(id), n.buf[:])
 	return n
 }
@@ -198,18 +197,37 @@ func (t *BTreeIndex) setRoot(clk *sim.Clock, id uint64) {
 	t.space.Write(clk, t.base+8, b[:])
 }
 
-// descend walks from the root to the leaf for key, recording the path of
-// (node, childEntry) when path != nil.
-func (t *BTreeIndex) descend(clk *sim.Clock, key uint64, path *[]pathEntry) *node {
-	n := t.load(clk, t.root)
+// treeWalk holds the reusable per-operation state of a root-to-leaf walk:
+// one node buffer per level plus the recorded path. Every tree operation
+// descends, and allocating (and zeroing) a fresh 256 B node per level was a
+// measurable slice of sweep host time, so walks come from a pool. Split
+// nodes are still allocated fresh: their zeroed buffers are what the store
+// persists beyond the entry count.
+type treeWalk struct {
+	nodes [maxDepth + 1]node
+	path  [maxDepth]pathEntry
+}
+
+var walkPool = sync.Pool{New: func() any { return new(treeWalk) }}
+
+// descend walks from the root to the leaf for key using w's node buffers,
+// recording the path of (node, childEntry) when record is true. npath is the
+// leaf's depth; w.path[:npath] is valid when recorded.
+func (t *BTreeIndex) descend(clk *sim.Clock, key uint64, w *treeWalk, record bool) (n *node, npath int) {
+	n = t.loadInto(clk, t.root, &w.nodes[0])
 	for !n.leaf() {
-		i := n.childFor(key)
-		if path != nil {
-			*path = append(*path, pathEntry{n: n, idx: i})
+		if npath >= maxDepth {
+			panic("index: btree deeper than maxDepth")
 		}
-		n = t.load(clk, n.val(i))
+		i := n.childFor(key)
+		child := n.val(i)
+		if record {
+			w.path[npath] = pathEntry{n: n, idx: i}
+		}
+		npath++
+		n = t.loadInto(clk, child, &w.nodes[npath])
 	}
-	return n
+	return n, npath
 }
 
 type pathEntry struct {
@@ -221,12 +239,15 @@ type pathEntry struct {
 func (t *BTreeIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n := t.descend(clk, key, nil)
+	w := walkPool.Get().(*treeWalk)
+	n, _ := t.descend(clk, key, w, false)
 	i, ok := n.searchLeaf(key)
-	if !ok {
-		return 0, false
+	var v uint64
+	if ok {
+		v = n.val(i)
 	}
-	return n.val(i), true
+	walkPool.Put(w)
+	return v, ok
 }
 
 // Insert adds key→val, splitting nodes as needed.
@@ -234,8 +255,9 @@ func (t *BTreeIndex) Insert(clk *sim.Clock, key, val uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
-	path := make([]pathEntry, 0, maxDepth)
-	n := t.descend(clk, key, &path)
+	w := walkPool.Get().(*treeWalk)
+	defer walkPool.Put(w)
+	n, npath := t.descend(clk, key, w, true)
 	i, exists := n.searchLeaf(key)
 	if exists {
 		return ErrDuplicate
@@ -250,7 +272,7 @@ func (t *BTreeIndex) Insert(clk *sim.Clock, key, val uint64) error {
 	if err != nil {
 		return err
 	}
-	right := &node{id: rightID, tree: t}
+	right := &node{id: rightID}
 	mid := nodeEntries / 2 // left keeps [0,mid), right gets [mid,count)
 	copy(right.buf[16:], n.buf[16+16*mid:16+16*nodeEntries])
 	right.setKind(false)
@@ -269,7 +291,7 @@ func (t *BTreeIndex) Insert(clk *sim.Clock, key, val uint64) error {
 	}
 	t.store(clk, right)
 	t.store(clk, n)
-	return t.insertParent(clk, path, n.id, sep, rightID)
+	return t.insertParent(clk, w.path[:npath], n.id, sep, rightID)
 }
 
 // insertParent inserts separator sep pointing at rightID above the split
@@ -281,7 +303,7 @@ func (t *BTreeIndex) insertParent(clk *sim.Clock, path []pathEntry, leftID, sep,
 		if err != nil {
 			return err
 		}
-		r := &node{id: newRootID, tree: t}
+		r := &node{id: newRootID}
 		r.setKind(true)
 		r.set(0, 0, leftID)
 		r.set(1, sep, rightID)
@@ -303,7 +325,7 @@ func (t *BTreeIndex) insertParent(clk *sim.Clock, path []pathEntry, leftID, sep,
 	if err != nil {
 		return err
 	}
-	right := &node{id: newID, tree: t}
+	right := &node{id: newID}
 	mid := nodeEntries / 2
 	copy(right.buf[16:], n.buf[16+16*mid:16+16*nodeEntries])
 	right.setKind(true)
@@ -324,7 +346,9 @@ func (t *BTreeIndex) insertParent(clk *sim.Clock, path []pathEntry, leftID, sep,
 func (t *BTreeIndex) Update(clk *sim.Clock, key, val uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.descend(clk, key, nil)
+	w := walkPool.Get().(*treeWalk)
+	defer walkPool.Put(w)
+	n, _ := t.descend(clk, key, w, false)
 	i, ok := n.searchLeaf(key)
 	if !ok {
 		return false
@@ -338,7 +362,9 @@ func (t *BTreeIndex) Update(clk *sim.Clock, key, val uint64) bool {
 func (t *BTreeIndex) Delete(clk *sim.Clock, key uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := t.descend(clk, key, nil)
+	w := walkPool.Get().(*treeWalk)
+	defer walkPool.Put(w)
+	n, _ := t.descend(clk, key, w, false)
 	i, ok := n.searchLeaf(key)
 	if !ok {
 		return false
@@ -352,7 +378,9 @@ func (t *BTreeIndex) Delete(clk *sim.Clock, key uint64) bool {
 func (t *BTreeIndex) Scan(clk *sim.Clock, from uint64, fn func(key, val uint64) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n := t.descend(clk, from, nil)
+	w := walkPool.Get().(*treeWalk)
+	defer walkPool.Put(w)
+	n, _ := t.descend(clk, from, w, false)
 	i, _ := n.searchLeaf(from)
 	for {
 		for ; i < n.count(); i++ {
@@ -364,7 +392,7 @@ func (t *BTreeIndex) Scan(clk *sim.Clock, from uint64, fn func(key, val uint64) 
 		if !ok {
 			return nil
 		}
-		n = t.load(clk, nxt)
+		n = t.loadInto(clk, nxt, n)
 		i = 0
 	}
 }

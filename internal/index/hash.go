@@ -94,37 +94,43 @@ func (h *HashIndex) bucketOff(i uint64) uint64 { return h.base + 64 + i*bucketBy
 
 // lockSpan write- or read-locks the (at most two) stripes covering the probe
 // window starting at bucket b, in index order to avoid deadlock. It returns
-// an unlock function.
-func (h *HashIndex) lockSpan(b uint64, write bool) func() {
+// the locked stripe range for unlockSpan. The lock/unlock pair is split into
+// plain methods (rather than a returned unlock closure) because every index
+// operation crosses it: the three closures the old shape allocated per call
+// were a measurable slice of sweep host time.
+func (h *HashIndex) lockSpan(b uint64, write bool) (lo, hi uint64) {
 	s1 := b >> stripeShift
 	s2 := ((b + maxProbe - 1) & (h.nbuckets - 1)) >> stripeShift
-	lo, hi := s1, s2
+	lo, hi = s1, s2
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	lock := func(s uint64) {
-		if write {
-			h.locks[s].Lock()
-		} else {
-			h.locks[s].RLock()
-		}
-	}
-	unlock := func(s uint64) {
-		if write {
-			h.locks[s].Unlock()
-		} else {
-			h.locks[s].RUnlock()
-		}
-	}
-	lock(lo)
-	if hi != lo {
-		lock(hi)
-	}
-	return func() {
+	if write {
+		h.locks[lo].Lock()
 		if hi != lo {
-			unlock(hi)
+			h.locks[hi].Lock()
 		}
-		unlock(lo)
+	} else {
+		h.locks[lo].RLock()
+		if hi != lo {
+			h.locks[hi].RLock()
+		}
+	}
+	return lo, hi
+}
+
+// unlockSpan releases the stripes locked by lockSpan.
+func (h *HashIndex) unlockSpan(lo, hi uint64, write bool) {
+	if write {
+		if hi != lo {
+			h.locks[hi].Unlock()
+		}
+		h.locks[lo].Unlock()
+	} else {
+		if hi != lo {
+			h.locks[hi].RUnlock()
+		}
+		h.locks[lo].RUnlock()
 	}
 }
 
@@ -152,8 +158,8 @@ func (b *bucketBuf) set(i int, k, v uint64) {
 // Get returns the value for key.
 func (h *HashIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
 	start := hash64(key) & (h.nbuckets - 1)
-	unlock := h.lockSpan(start, false)
-	defer unlock()
+	lo, hi := h.lockSpan(start, false)
+	defer h.unlockSpan(lo, hi, false)
 
 	var buf bucketBuf
 	for p := uint64(0); p < maxProbe; p++ {
@@ -175,8 +181,8 @@ func (h *HashIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
 // Insert adds key→val.
 func (h *HashIndex) Insert(clk *sim.Clock, key, val uint64) error {
 	start := hash64(key) & (h.nbuckets - 1)
-	unlock := h.lockSpan(start, true)
-	defer unlock()
+	lo, hi := h.lockSpan(start, true)
+	defer h.unlockSpan(lo, hi, true)
 
 	var buf bucketBuf
 	// First pass: duplicate check across the probe window.
@@ -238,8 +244,8 @@ func (h *HashIndex) findMut(clk *sim.Clock, buf *bucketBuf, start, key uint64) (
 // Update repoints an existing key at a new value (out-of-place engines).
 func (h *HashIndex) Update(clk *sim.Clock, key, val uint64) bool {
 	start := hash64(key) & (h.nbuckets - 1)
-	unlock := h.lockSpan(start, true)
-	defer unlock()
+	lo, hi := h.lockSpan(start, true)
+	defer h.unlockSpan(lo, hi, true)
 
 	var buf bucketBuf
 	bi, i, ok := h.findMut(clk, &buf, start, key)
@@ -254,8 +260,8 @@ func (h *HashIndex) Update(clk *sim.Clock, key, val uint64) bool {
 // Delete removes key by swapping the last entry into its hole.
 func (h *HashIndex) Delete(clk *sim.Clock, key uint64) bool {
 	start := hash64(key) & (h.nbuckets - 1)
-	unlock := h.lockSpan(start, true)
-	defer unlock()
+	lo, hi := h.lockSpan(start, true)
+	defer h.unlockSpan(lo, hi, true)
 
 	var buf bucketBuf
 	bi, i, ok := h.findMut(clk, &buf, start, key)

@@ -110,6 +110,38 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.max
 }
 
+// HistBucket is one non-empty histogram bucket in an export: the inclusive
+// value range [Lo, Hi] and the number of samples that fell in it.
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramDump is the exportable form of a Histogram: summary fields plus
+// the non-empty buckets, suitable for JSON serialization and offline
+// latency-distribution analysis.
+type HistogramDump struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Dump exports the histogram's summary and non-empty buckets.
+func (h *Histogram) Dump() HistogramDump {
+	d := HistogramDump{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		d.Buckets = append(d.Buckets, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return d
+}
+
 // bucketBounds returns the inclusive value range of bucket i.
 func bucketBounds(i int) (lo, hi uint64) {
 	if i == 0 {

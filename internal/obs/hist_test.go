@@ -89,3 +89,33 @@ func TestHistogramReset(t *testing.T) {
 		t.Error("reset must clear everything")
 	}
 }
+
+func TestHistogramDump(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 5, 300} {
+		h.Observe(v)
+	}
+	d := h.Dump()
+	if d.Count != 5 || d.Sum != 307 || d.Min != 0 || d.Max != 300 {
+		t.Fatalf("summary = %+v", d)
+	}
+	// 0 → bucket [0,0]; 1,1 → [1,1]; 5 → [4,7]; 300 → [256,511].
+	want := []HistBucket{{0, 0, 1}, {1, 1, 2}, {4, 7, 1}, {256, 511, 1}}
+	if len(d.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", d.Buckets, want)
+	}
+	var total uint64
+	for i, b := range d.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+		total += b.Count
+	}
+	if total != d.Count {
+		t.Errorf("bucket counts sum to %d, want %d", total, d.Count)
+	}
+
+	if empty := new(Histogram).Dump(); empty.Count != 0 || empty.Buckets != nil {
+		t.Errorf("empty dump = %+v", empty)
+	}
+}

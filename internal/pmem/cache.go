@@ -1,10 +1,6 @@
 package pmem
 
-import (
-	"sync"
-
-	"falcon/internal/sim"
-)
+import "falcon/internal/sim"
 
 // backend is the memory level beneath a Cache: the XPBuffer+media stack for
 // NVM, or a flat DRAM array for volatile spaces. Write-backs and fills charge
@@ -23,6 +19,12 @@ type backend interface {
 // backend only sees a line when it is written back by replacement, by CLWB,
 // or by the eADR crash flush. This makes persistence behaviour — the entire
 // subject of the paper — directly observable in tests.
+//
+// The store/load line paths are the hottest host-side code in the whole
+// simulation (every simulated memory access funnels through them), so they
+// are written lock-lean: a bare address-compare scan on the hit path with
+// the victim walk deferred to misses, explicit unlocks instead of defer,
+// and per-worker stats shards instead of shared counters.
 type Cache struct {
 	mode  Mode
 	ways  int
@@ -34,11 +36,15 @@ type Cache struct {
 	cost  sim.CostModel
 }
 
-type cacheLine struct {
+// lineMeta is the scanned-per-access part of a cache line. It is kept apart
+// from the 64 B payloads so the way walk in findHit/victim streams over a
+// compact array (24 B per way) instead of striding across payload data —
+// with 8–16 ways that is the difference between one or two host cache lines
+// and a dozen.
+type lineMeta struct {
 	addr  uint64 // line-aligned address; meaningful only when state != lineInvalid
-	state uint8
 	lru   uint64 // last-access tick (per set)
-	data  [LineSize]byte
+	state uint8
 }
 
 const (
@@ -47,10 +53,15 @@ const (
 	lineDirty
 )
 
+// cacheSet occupies exactly one host cache line (4 B lock + padding + 8 B tick + two
+// 24 B slice headers): its mutex and LRU tick are written on every access,
+// and without that sizing adjacent sets would share a host cache line and
+// bounce it between workers hitting different sets.
 type cacheSet struct {
-	mu   sync.Mutex
+	mu   spinLock
 	tick uint64
-	line []cacheLine
+	meta []lineMeta
+	data [][LineSize]byte
 }
 
 // newCache creates a cache of capacityBytes with the given associativity
@@ -70,7 +81,8 @@ func newCache(lower backend, stats *Stats, mode Mode, capacityBytes, ways int, l
 	c := &Cache{mode: mode, ways: ways, nsets: nsets, limit: limit, lower: lower, stats: stats, cost: cost}
 	c.sets = make([]cacheSet, nsets)
 	for i := range c.sets {
-		c.sets[i].line = make([]cacheLine, ways)
+		c.sets[i].meta = make([]lineMeta, ways)
+		c.sets[i].data = make([][LineSize]byte, ways)
 	}
 	return c
 }
@@ -102,7 +114,8 @@ func (c *Cache) checkRange(addr uint64, n int) {
 // write-backs.
 func (c *Cache) Store(clk *sim.Clock, addr uint64, src []byte) {
 	c.checkRange(addr, len(src))
-	c.stats.BytesStored.Add(uint64(len(src)))
+	sh := c.stats.ShardFor(clk)
+	sh.BytesStored.Add(uint64(len(src)))
 	for len(src) > 0 {
 		la := lineFloor(addr)
 		off := int(addr - la)
@@ -110,44 +123,52 @@ func (c *Cache) Store(clk *sim.Clock, addr uint64, src []byte) {
 		if n > len(src) {
 			n = len(src)
 		}
-		c.storeLine(clk, la, off, src[:n])
+		c.storeLine(clk, sh, la, off, src[:n])
 		addr += uint64(n)
 		src = src[n:]
 	}
 }
 
-func (c *Cache) storeLine(clk *sim.Clock, lineAddr uint64, off int, src []byte) {
+func (c *Cache) storeLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off int, src []byte) {
 	set := c.setFor(lineAddr)
-	set.mu.Lock()
-	defer set.mu.Unlock()
+	set.mu.lock()
 
-	if ln := set.find(lineAddr); ln != nil {
-		copy(ln.data[off:off+len(src)], src)
-		ln.state = lineDirty
-		ln.lru = set.nextTick()
-		c.stats.CacheHits.Add(1)
+	if w := set.findHit(lineAddr); w >= 0 {
+		copy(set.data[w][off:off+len(src)], src)
+		set.meta[w].state = lineDirty
+		set.tick++
+		set.meta[w].lru = set.tick
+		set.mu.unlock()
+		sh.CacheHits.Add(1)
 		clk.Advance(c.cost.CacheHitLine)
 		return
 	}
 
-	ln := c.victimLocked(clk, set)
-	ln.addr = lineAddr
-	ln.lru = set.nextTick()
-	c.stats.CacheMisses.Add(1)
+	w := set.victim()
+	c.evictLocked(clk, sh, set, w)
+	m := &set.meta[w]
+	m.addr = lineAddr
+	set.tick++
+	m.lru = set.tick
+	sh.CacheMisses.Add(1)
 	clk.Advance(c.cost.CacheMissLine)
 	if off != 0 || len(src) != LineSize {
 		// Write-allocate with fill: the untouched bytes of the line must
-		// come from below.
-		c.lower.fillLine(clk, lineAddr, &ln.data)
+		// come from below. A store covering the whole line skips the fill —
+		// every byte is about to be overwritten, so the read-modify-write
+		// would be pure wasted host work and a spurious media/buffer read.
+		c.lower.fillLine(clk, lineAddr, &set.data[w])
 	}
-	copy(ln.data[off:off+len(src)], src)
-	ln.state = lineDirty
+	copy(set.data[w][off:off+len(src)], src)
+	m.state = lineDirty
+	set.mu.unlock()
 }
 
 // Load reads [addr, addr+len(dst)) into dst through the cache, installing
 // missing lines as clean.
 func (c *Cache) Load(clk *sim.Clock, addr uint64, dst []byte) {
 	c.checkRange(addr, len(dst))
+	sh := c.stats.ShardFor(clk)
 	for len(dst) > 0 {
 		la := lineFloor(addr)
 		off := int(addr - la)
@@ -155,33 +176,38 @@ func (c *Cache) Load(clk *sim.Clock, addr uint64, dst []byte) {
 		if n > len(dst) {
 			n = len(dst)
 		}
-		c.loadLine(clk, la, off, dst[:n])
+		c.loadLine(clk, sh, la, off, dst[:n])
 		addr += uint64(n)
 		dst = dst[n:]
 	}
 }
 
-func (c *Cache) loadLine(clk *sim.Clock, lineAddr uint64, off int, dst []byte) {
+func (c *Cache) loadLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off int, dst []byte) {
 	set := c.setFor(lineAddr)
-	set.mu.Lock()
-	defer set.mu.Unlock()
+	set.mu.lock()
 
-	if ln := set.find(lineAddr); ln != nil {
-		copy(dst, ln.data[off:off+len(dst)])
-		ln.lru = set.nextTick()
-		c.stats.CacheHits.Add(1)
+	if w := set.findHit(lineAddr); w >= 0 {
+		copy(dst, set.data[w][off:off+len(dst)])
+		set.tick++
+		set.meta[w].lru = set.tick
+		set.mu.unlock()
+		sh.CacheHits.Add(1)
 		clk.Advance(c.cost.CacheHitLine)
 		return
 	}
 
-	ln := c.victimLocked(clk, set)
-	ln.addr = lineAddr
-	ln.lru = set.nextTick()
-	c.stats.CacheMisses.Add(1)
+	w := set.victim()
+	c.evictLocked(clk, sh, set, w)
+	m := &set.meta[w]
+	m.addr = lineAddr
+	set.tick++
+	m.lru = set.tick
+	sh.CacheMisses.Add(1)
 	clk.Advance(c.cost.CacheMissLine)
-	c.lower.fillLine(clk, lineAddr, &ln.data)
-	ln.state = lineClean
-	copy(dst, ln.data[off:off+len(dst)])
+	c.lower.fillLine(clk, lineAddr, &set.data[w])
+	m.state = lineClean
+	copy(dst, set.data[w][off:off+len(dst)])
+	set.mu.unlock()
 }
 
 // CLWB writes back the lines covering [addr, addr+n) if they are present and
@@ -194,18 +220,19 @@ func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
 		return
 	}
 	c.checkRange(addr, n)
+	sh := c.stats.ShardFor(clk)
 	end := addr + uint64(n)
 	for la := lineFloor(addr); la < end; la += LineSize {
 		clk.Advance(c.cost.ClwbIssue)
 		set := c.setFor(la)
-		set.mu.Lock()
-		if ln := set.find(la); ln != nil && ln.state == lineDirty {
+		set.mu.lock()
+		if w := set.findHit(la); w >= 0 && set.meta[w].state == lineDirty {
 			clk.Advance(c.cost.LineWriteback)
-			c.lower.writeBackLine(clk, la, &ln.data)
-			ln.state = lineClean
-			c.stats.ClwbWritebacks.Add(1)
+			c.lower.writeBackLine(clk, la, &set.data[w])
+			set.meta[w].state = lineClean
+			sh.ClwbWritebacks.Add(1)
 		}
-		set.mu.Unlock()
+		set.mu.unlock()
 	}
 }
 
@@ -218,15 +245,15 @@ func (c *Cache) SFence(clk *sim.Clock) { clk.Advance(c.cost.Sfence) }
 func (c *Cache) FlushAll(clk *sim.Clock) {
 	for i := range c.sets {
 		set := &c.sets[i]
-		set.mu.Lock()
-		for j := range set.line {
-			ln := &set.line[j]
-			if ln.state == lineDirty {
-				c.lower.writeBackLine(clk, ln.addr, &ln.data)
-				ln.state = lineClean
+		set.mu.lock()
+		for j := range set.meta {
+			m := &set.meta[j]
+			if m.state == lineDirty {
+				c.lower.writeBackLine(clk, m.addr, &set.data[j])
+				m.state = lineClean
 			}
 		}
-		set.mu.Unlock()
+		set.mu.unlock()
 	}
 	c.lower.drain(clk)
 }
@@ -238,61 +265,68 @@ func (c *Cache) FlushAll(clk *sim.Clock) {
 // — a restarted system boots cold.
 func (c *Cache) CrashFlush() {
 	clk := sim.NewClock() // crash flushing is not charged to any worker
+	sh := c.stats.ShardFor(clk)
 	for i := range c.sets {
 		set := &c.sets[i]
-		set.mu.Lock()
-		for j := range set.line {
-			ln := &set.line[j]
-			if ln.state == lineDirty {
+		set.mu.lock()
+		for j := range set.meta {
+			m := &set.meta[j]
+			if m.state == lineDirty {
 				if c.mode == EADR {
-					c.lower.writeBackLine(clk, ln.addr, &ln.data)
-					c.stats.CrashFlushedLines.Add(1)
+					c.lower.writeBackLine(clk, m.addr, &set.data[j])
+					sh.CrashFlushedLines.Add(1)
 				} else {
-					c.stats.CrashDroppedLines.Add(1)
+					sh.CrashDroppedLines.Add(1)
 				}
 			}
-			ln.state = lineInvalid
+			m.state = lineInvalid
 		}
-		set.mu.Unlock()
+		set.mu.unlock()
 	}
 	c.lower.drain(clk)
 }
 
-// victimLocked returns a line slot to (re)use in the set, writing back the
-// evicted line if it was dirty. Caller holds set.mu.
-func (c *Cache) victimLocked(clk *sim.Clock, set *cacheSet) *cacheLine {
-	var victim *cacheLine
-	for i := range set.line {
-		ln := &set.line[i]
-		if ln.state == lineInvalid {
-			return ln
-		}
-		if victim == nil || ln.lru < victim.lru {
-			victim = ln
-		}
-	}
-	if victim.state == lineDirty {
+// evictLocked frees way w, writing back its line if dirty. Caller holds the
+// set mutex and immediately reuses the slot.
+func (c *Cache) evictLocked(clk *sim.Clock, sh *StatShard, set *cacheSet, w int) {
+	m := &set.meta[w]
+	switch m.state {
+	case lineDirty:
 		clk.Advance(c.cost.LineWriteback)
-		c.lower.writeBackLine(clk, victim.addr, &victim.data)
-		c.stats.DirtyEvictions.Add(1)
-	} else {
-		c.stats.CleanEvictions.Add(1)
+		c.lower.writeBackLine(clk, m.addr, &set.data[w])
+		sh.DirtyEvictions.Add(1)
+	case lineClean:
+		sh.CleanEvictions.Add(1)
 	}
-	victim.state = lineInvalid
-	return victim
+	m.state = lineInvalid
 }
 
-func (s *cacheSet) find(lineAddr uint64) *cacheLine {
-	for i := range s.line {
-		ln := &s.line[i]
-		if ln.state != lineInvalid && ln.addr == lineAddr {
-			return ln
+// findHit returns the way holding lineAddr, or -1. Hits are the common
+// case, so this scan is kept to a bare address compare per way over the
+// compact meta array; the victim walk runs separately and only on misses.
+func (s *cacheSet) findHit(lineAddr uint64) int {
+	for i := range s.meta {
+		if s.meta[i].addr == lineAddr && s.meta[i].state != lineInvalid {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-func (s *cacheSet) nextTick() uint64 {
-	s.tick++
-	return s.tick
+// victim returns the replacement way for a miss: the first invalid slot if
+// any, otherwise the least-recently-used line (strict <, walk order breaks
+// ties — the same choice the pre-split single-pass lookup made).
+func (s *cacheSet) victim() int {
+	v := -1
+	var vlru uint64
+	for i := range s.meta {
+		m := &s.meta[i]
+		if m.state == lineInvalid {
+			return i
+		}
+		if v < 0 || m.lru < vlru {
+			v, vlru = i, m.lru
+		}
+	}
+	return v
 }

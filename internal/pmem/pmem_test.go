@@ -78,7 +78,7 @@ func TestCrashADRDropsDirtyLines(t *testing.T) {
 	if bytes.Equal(got, src) {
 		t.Fatal("ADR crash preserved unflushed data; dirty lines must be lost")
 	}
-	if sys.Dev.Stats().CrashDroppedLines.Load() == 0 {
+	if sys.Dev.Stats().Snapshot().CrashDroppedLines == 0 {
 		t.Error("expected CrashDroppedLines > 0 under ADR")
 	}
 }
@@ -196,13 +196,13 @@ func TestXPBufferServesLoadsFromBufferedLines(t *testing.T) {
 		var b [1]byte
 		sys.Space.Read(clk, i*stride, b[:])
 	}
-	before := sys.Dev.Stats().XPBufferHits.Load()
+	before := sys.Dev.Stats().Snapshot().XPBufferHits
 	dst := make([]byte, LineSize)
 	sys.Space.Read(clk, 0, dst)
 	if !bytes.Equal(dst, src) {
 		t.Fatal("load returned stale data for a line buffered in the XPBuffer")
 	}
-	if sys.Dev.Stats().XPBufferHits.Load() == before {
+	if sys.Dev.Stats().Snapshot().XPBufferHits == before {
 		t.Log("note: load was served by cache (line not evicted); stats unchanged")
 	}
 }

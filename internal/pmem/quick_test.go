@@ -57,7 +57,7 @@ func TestQuickCacheMatchesFlatMemory(t *testing.T) {
 		sys2.Dev.RawRead(0, got)
 		return bytes.Equal(got, ref)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickMax(30)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +115,17 @@ func TestQuickADRFlushedSurvives(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: quickMax(30)}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// quickMax trims property-check sample counts under -short (the
+// race-enabled CI lane), keeping the properties exercised without paying
+// the full sampling budget at race-detector speed.
+func quickMax(full int) int {
+	if testing.Short() {
+		return full / 3
+	}
+	return full
 }

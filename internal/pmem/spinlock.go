@@ -1,0 +1,34 @@
+package pmem
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinLock is a 4-byte test-and-set lock for the simulation's hottest
+// critical sections (cache sets, XPBuffer banks). Those sections run for
+// tens of nanoseconds, the lock spaces are heavily striped (thousands of
+// sets, 16 banks), and every simulated memory access takes one — at that
+// grain sync.Mutex's unlock (an atomic add plus wake check) is a measurable
+// slice of sweep host time, while a release store is nearly free.
+//
+// The slow path yields to the scheduler rather than parking: with critical
+// sections this short, a contended acquirer is overwhelmingly likely to get
+// the lock within a few spins, and on a single-core host Gosched lets the
+// holder run instead of burning the preemption slice.
+type spinLock struct {
+	v atomic.Int32
+}
+
+func (l *spinLock) lock() {
+	for spins := 0; !l.v.CompareAndSwap(0, 1); spins++ {
+		if spins >= 16 {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+func (l *spinLock) unlock() {
+	l.v.Store(0)
+}

@@ -1,10 +1,28 @@
 package pmem
 
-import "sync/atomic"
+import (
+	"sync/atomic"
 
-// Stats counts simulated hardware events on an NVM device and its attached
-// cache. All counters are cumulative and safe for concurrent update.
-type Stats struct {
+	"falcon/internal/sim"
+)
+
+// numStatShards is the number of per-worker counter blocks in a Stats. A
+// power of two so shard selection is a single mask of the worker's shard id;
+// workers beyond the shard count wrap around and share (still correct, the
+// counters are atomic).
+const numStatShards = 32
+
+// StatShard is one worker's block of simulated-hardware event counters.
+// Sharding exists purely for host-side performance: with a single shared
+// counter block every worker's stores hit the same few cache lines, and the
+// resulting false sharing dominates the simulation's host cost at high
+// worker counts. Each worker instead updates its own block (selected by
+// sim.Clock.ShardID), and Stats.Snapshot sums the blocks.
+//
+// The counters are atomics because nothing enforces distinct shard ids —
+// anonymous clocks all map to shard 0 — but in the steady state a shard has
+// one writer and the atomic adds never contend.
+type StatShard struct {
 	// MediaReads counts 256 B block reads from the storage media, including
 	// the reads issued by read-modify-write partial-block evictions.
 	MediaReads atomic.Uint64
@@ -43,7 +61,32 @@ type Stats struct {
 	CrashFlushedLines atomic.Uint64
 	// CrashDroppedLines counts dirty lines discarded by an ADR crash.
 	CrashDroppedLines atomic.Uint64
+	// pad rounds the block up to a multiple of the 64 B cache line size
+	// (15 counters = 120 B -> 128 B) so adjacent shards never share a line.
+	_ [8]byte
 }
+
+// Stats counts simulated hardware events on an NVM device and its attached
+// cache, sharded into per-worker counter blocks. Writers pick their block
+// with ShardFor; readers merge all blocks with Snapshot. All counters are
+// cumulative and safe for concurrent update.
+type Stats struct {
+	shards [numStatShards]StatShard
+}
+
+// ShardFor returns the counter block for the worker owning clk. Nil and
+// anonymous clocks (bulk loads, crash flushes, tests) map to shard 0.
+func (s *Stats) ShardFor(clk *sim.Clock) *StatShard {
+	return &s.shards[clk.ShardID()&(numStatShards-1)]
+}
+
+// Shard returns counter block i (tests and diagnostics).
+func (s *Stats) Shard(i int) *StatShard {
+	return &s.shards[uint64(i)&(numStatShards-1)]
+}
+
+// NumShards returns the number of counter blocks.
+func (s *Stats) NumShards() int { return numStatShards }
 
 // Snapshot is a point-in-time copy of Stats, suitable for diffing.
 type Snapshot struct {
@@ -64,25 +107,28 @@ type Snapshot struct {
 	CrashDroppedLines  uint64
 }
 
-// Snapshot returns a copy of the current counter values.
+// Snapshot returns the current counter values summed across all shards.
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		MediaReads:         s.MediaReads.Load(),
-		MediaWrites:        s.MediaWrites.Load(),
-		FullBlockWrites:    s.FullBlockWrites.Load(),
-		PartialBlockWrites: s.PartialBlockWrites.Load(),
-		XPBufferMerges:     s.XPBufferMerges.Load(),
-		XPBufferHits:       s.XPBufferHits.Load(),
-		CacheHits:          s.CacheHits.Load(),
-		CacheMisses:        s.CacheMisses.Load(),
-		DirtyEvictions:     s.DirtyEvictions.Load(),
-		CleanEvictions:     s.CleanEvictions.Load(),
-		ClwbWritebacks:     s.ClwbWritebacks.Load(),
-		BytesStored:        s.BytesStored.Load(),
-		BytesToMedia:       s.BytesToMedia.Load(),
-		CrashFlushedLines:  s.CrashFlushedLines.Load(),
-		CrashDroppedLines:  s.CrashDroppedLines.Load(),
+	var out Snapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.MediaReads += sh.MediaReads.Load()
+		out.MediaWrites += sh.MediaWrites.Load()
+		out.FullBlockWrites += sh.FullBlockWrites.Load()
+		out.PartialBlockWrites += sh.PartialBlockWrites.Load()
+		out.XPBufferMerges += sh.XPBufferMerges.Load()
+		out.XPBufferHits += sh.XPBufferHits.Load()
+		out.CacheHits += sh.CacheHits.Load()
+		out.CacheMisses += sh.CacheMisses.Load()
+		out.DirtyEvictions += sh.DirtyEvictions.Load()
+		out.CleanEvictions += sh.CleanEvictions.Load()
+		out.ClwbWritebacks += sh.ClwbWritebacks.Load()
+		out.BytesStored += sh.BytesStored.Load()
+		out.BytesToMedia += sh.BytesToMedia.Load()
+		out.CrashFlushedLines += sh.CrashFlushedLines.Load()
+		out.CrashDroppedLines += sh.CrashDroppedLines.Load()
 	}
+	return out
 }
 
 // Sub returns the element-wise difference s - o.

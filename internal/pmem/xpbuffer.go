@@ -1,10 +1,6 @@
 package pmem
 
-import (
-	"sync"
-
-	"falcon/internal/sim"
-)
+import "falcon/internal/sim"
 
 // XPBuffer models the write-combining buffer inside an Optane NVM module
 // (paper §3.2, Figure 2). Incoming 64 B cache-line write-backs are staged in
@@ -26,17 +22,19 @@ type xpSlot struct {
 	blockAddr uint64
 	mask      uint8 // bit i set => line i of the block holds valid data
 	used      bool
-	// LRU list links (indexes into the bank's slot array; -1 = none).
+	// LRU list links (indexes into the bank's slot array; -1 = none). The
+	// next link doubles as the free-list link while the slot is unused.
 	prev, next int
 	data       [BlockSize]byte
 }
 
 type xpBank struct {
-	mu    sync.Mutex
+	mu    spinLock
 	slots []xpSlot
 	index map[uint64]int // blockAddr -> slot
 	head  int            // most recently used
 	tail  int            // least recently used
+	free  int            // head of the unused-slot list (-1 = bank full)
 }
 
 // NewXPBuffer creates a buffer with the given total capacity in bytes spread
@@ -56,9 +54,13 @@ func NewXPBuffer(dev *Device, capacityBytes, nbanks int, cost sim.CostModel) *XP
 		bank.slots = make([]xpSlot, slotsPerBank)
 		bank.index = make(map[uint64]int, slotsPerBank)
 		bank.head, bank.tail = -1, -1
+		// Chain all slots onto the free list through their next links.
+		bank.free = 0
 		for j := range bank.slots {
-			bank.slots[j].prev, bank.slots[j].next = -1, -1
+			bank.slots[j].prev = -1
+			bank.slots[j].next = j + 1
 		}
+		bank.slots[slotsPerBank-1].next = -1
 	}
 	return b
 }
@@ -74,27 +76,28 @@ func (b *XPBuffer) WriteLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]by
 	blockAddr := blockFloor(lineAddr)
 	lineIdx := int(lineAddr-blockAddr) / LineSize
 	bank := b.bankFor(blockAddr)
+	sh := b.dev.stats.ShardFor(clk)
 
-	bank.mu.Lock()
-	defer bank.mu.Unlock()
+	bank.mu.lock()
 
 	if si, ok := bank.index[blockAddr]; ok {
 		s := &bank.slots[si]
 		copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
-		if s.mask&(1<<lineIdx) != 0 {
-			// Overwrite of an already-buffered line; no merge credit.
-		} else {
+		if s.mask&(1<<lineIdx) == 0 {
 			s.mask |= 1 << lineIdx
-			b.dev.stats.XPBufferMerges.Add(1)
+			sh.XPBufferMerges.Add(1)
 		}
 		bank.touch(si)
+		bank.mu.unlock()
 		return
 	}
 
-	si := bank.freeSlot()
+	si := bank.takeFreeSlot()
 	if si < 0 {
 		si = bank.tail
-		b.evictSlotLocked(clk, bank, si)
+		b.evictSlotLocked(clk, sh, bank, si)
+		// evictSlotLocked pushed the slot back on the free list; reclaim it.
+		si = bank.takeFreeSlot()
 	}
 	s := &bank.slots[si]
 	s.blockAddr = blockAddr
@@ -103,6 +106,7 @@ func (b *XPBuffer) WriteLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]by
 	copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
 	bank.index[blockAddr] = si
 	bank.pushFront(si)
+	bank.mu.unlock()
 }
 
 // ReadLine fills dst with the current content of the 64 B line at lineAddr,
@@ -113,28 +117,32 @@ func (b *XPBuffer) ReadLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte
 	blockAddr := blockFloor(lineAddr)
 	lineIdx := int(lineAddr-blockAddr) / LineSize
 	bank := b.bankFor(blockAddr)
+	sh := b.dev.stats.ShardFor(clk)
 
-	bank.mu.Lock()
-	defer bank.mu.Unlock()
-
+	bank.mu.lock()
 	if si, ok := bank.index[blockAddr]; ok {
 		s := &bank.slots[si]
 		if s.mask&(1<<lineIdx) != 0 {
 			copy(dst[:], s.data[lineIdx*LineSize:(lineIdx+1)*LineSize])
-			b.dev.stats.XPBufferHits.Add(1)
+			bank.mu.unlock()
+			sh.XPBufferHits.Add(1)
 			clk.Advance(b.cost.XPBufferHit)
 			return true
 		}
 	}
-	b.dev.stats.MediaReads.Add(1)
+	// The media read happens under the bank lock, like evictions' media
+	// writes, so a fill can never observe a torn concurrent write-back.
+	b.dev.readLineInto(lineAddr, dst)
+	bank.mu.unlock()
+	sh.MediaReads.Add(1)
 	clk.Advance(b.cost.MediaReadBlock)
-	b.dev.RawRead(lineAddr, dst[:])
 	return false
 }
 
-// evictSlotLocked writes the victim slot out to the media. Full blocks cost a
-// single media write; partial blocks cost a read-modify-write.
-func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, bank *xpBank, si int) {
+// evictSlotLocked writes the victim slot out to the media and returns it to
+// the bank's free list. Full blocks cost a single media write; partial
+// blocks cost a read-modify-write.
+func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, sh *StatShard, bank *xpBank, si int) {
 	s := &bank.slots[si]
 	if !s.used {
 		return
@@ -142,36 +150,39 @@ func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, bank *xpBank, si int) {
 	full := s.mask == (1<<LinesPerBlock)-1
 	if full {
 		b.dev.writeBlock(s.blockAddr, s.data[:])
-		b.dev.stats.FullBlockWrites.Add(1)
+		sh.FullBlockWrites.Add(1)
 	} else {
 		// Read-modify-write: fetch the block, merge the valid lines, write
 		// the whole block back.
-		b.dev.stats.MediaReads.Add(1)
+		sh.MediaReads.Add(1)
 		clk.Advance(b.cost.MediaReadBlock)
 		b.dev.writeLines(s.blockAddr, s.data[:], s.mask)
-		b.dev.stats.PartialBlockWrites.Add(1)
+		sh.PartialBlockWrites.Add(1)
 	}
-	b.dev.stats.MediaWrites.Add(1)
-	b.dev.stats.BytesToMedia.Add(BlockSize)
+	sh.MediaWrites.Add(1)
+	sh.BytesToMedia.Add(BlockSize)
 	clk.Advance(b.cost.MediaWriteBlock)
 
 	delete(bank.index, s.blockAddr)
 	bank.unlink(si)
 	s.used = false
 	s.mask = 0
+	s.next = bank.free
+	bank.free = si
 }
 
 // Drain writes every buffered block to the media. The memory controller is
 // inside the persistence domain in both ADR and eADR, so Drain runs on every
 // simulated crash; it is also used by Sync for clean shutdowns.
 func (b *XPBuffer) Drain(clk *sim.Clock) {
+	sh := b.dev.stats.ShardFor(clk)
 	for i := range b.banks {
 		bank := &b.banks[i]
-		bank.mu.Lock()
+		bank.mu.lock()
 		for bank.tail != -1 {
-			b.evictSlotLocked(clk, bank, bank.tail)
+			b.evictSlotLocked(clk, sh, bank, bank.tail)
 		}
-		bank.mu.Unlock()
+		bank.mu.unlock()
 	}
 }
 
@@ -187,15 +198,17 @@ func (b *XPBuffer) fillLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte
 
 func (b *XPBuffer) drain(clk *sim.Clock) { b.Drain(clk) }
 
-// ---- bank LRU helpers (caller holds bank.mu) ----
+// ---- bank LRU / free-list helpers (caller holds bank.mu) ----
 
-func (k *xpBank) freeSlot() int {
-	for i := range k.slots {
-		if !k.slots[i].used {
-			return i
-		}
+// takeFreeSlot pops the free-list head, replacing the former O(slots) scan
+// for an unused slot with a constant-time unlink.
+func (k *xpBank) takeFreeSlot() int {
+	si := k.free
+	if si >= 0 {
+		k.free = k.slots[si].next
+		k.slots[si].next = -1
 	}
-	return -1
+	return si
 }
 
 func (k *xpBank) pushFront(si int) {

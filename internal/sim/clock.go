@@ -23,14 +23,36 @@ package sim
 // Snapshot, which callers must externally order).
 type Clock struct {
 	nanos uint64
+	// shard is the owning worker's id, used by per-worker sharded counters
+	// (pmem.Stats) to pick an uncontended counter block. Anonymous clocks
+	// (tests, setup, crash flushes) share shard 0.
+	shard uint64
 	// pad keeps two clocks from sharing a cache line when allocated in a
 	// slice; clocks are updated on every simulated event, so false sharing
 	// between workers would distort host-side performance.
-	_ [7]uint64
+	_ [6]uint64
 }
 
 // NewClock returns a clock at virtual time zero.
 func NewClock() *Clock { return &Clock{} }
+
+// NewWorkerClock returns a clock at virtual time zero owned by worker w.
+// The worker id doubles as the shard hint for per-worker sharded counters.
+func NewWorkerClock(w int) *Clock {
+	if w < 0 {
+		w = 0
+	}
+	return &Clock{shard: uint64(w)}
+}
+
+// ShardID returns the owning worker's shard hint (0 for anonymous or nil
+// clocks).
+func (c *Clock) ShardID() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.shard
+}
 
 // Advance adds ns virtual nanoseconds to the clock.
 func (c *Clock) Advance(ns uint64) {

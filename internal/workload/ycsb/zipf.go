@@ -1,6 +1,9 @@
 package ycsb
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // zipfGen draws Zipf-distributed values in [0, n) with skew theta, using the
 // Gray et al. "Quickly generating billion-record synthetic databases"
@@ -25,13 +28,29 @@ func newZipf(n uint64, theta float64, seed uint64) *zipfGen {
 	return z
 }
 
+// zetaCache memoizes zetaStatic: every worker of every sweep cell builds a
+// generator over the same (n, theta), and the O(n) math.Pow loop showed up
+// as a few percent of sweep host time. The function is pure, so caching
+// cannot change any drawn value.
+var zetaCache sync.Map // zetaKey -> float64
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
 // zetaStatic computes the generalized harmonic number of order theta.
-// O(n) once per generator; n is bounded by the scaled-down record counts.
+// O(n) on first use per (n, theta); memoized afterwards.
 func zetaStatic(n uint64, theta float64) float64 {
+	k := zetaKey{n, theta}
+	if v, ok := zetaCache.Load(k); ok {
+		return v.(float64)
+	}
 	sum := 0.0
 	for i := uint64(1); i <= n; i++ {
 		sum += 1.0 / math.Pow(float64(i), theta)
 	}
+	zetaCache.Store(k, sum)
 	return sum
 }
 
