@@ -4,22 +4,38 @@
 // + instant NVM-index recovery + replay of the tiny log windows — while
 // ZenS-style engines scan the whole tuple heap to rebuild their DRAM index,
 // so their recovery time grows with the data.
+//
+// With -faults N it instead runs the crash-consistency matrix: N seeded
+// mid-transaction crashes per engine preset per persistence mode, each
+// recovered and checked against a golden model of acknowledged commits.
+// A failing seed prints a one-line repro command.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"falcon/internal/bench"
 	"falcon/internal/core"
+	"falcon/internal/crashtest"
 	"falcon/internal/workload/ycsb"
 )
 
 func main() {
 	threads := flag.Int("threads", 8, "worker threads")
 	txns := flag.Int("txns", 300, "transactions per worker before the crash")
+	stats := flag.Bool("stats", false, "print the recovery-phase observability breakdown")
+	faults := flag.Int("faults", 0, "run the crash-consistency matrix with this many seeded crashes per cell")
+	seed := flag.Uint64("seed", 1, "first crash seed (seeds run seed..seed+faults-1)")
+	preset := flag.String("preset", "", "restrict the crash matrix to one engine preset by name")
+	mode := flag.String("mode", "", "restrict the crash matrix to one persistence mode: eadr or adr")
 	flag.Parse()
+
+	if *faults > 0 {
+		os.Exit(runCrashMatrix(*faults, *seed, *preset, *mode))
+	}
 
 	recordCounts := []uint64{20_000, 50_000, 100_000, 200_000}
 	engines := []core.Config{core.FalconConfig(), core.FalconDRAMIndexConfig(), core.InpConfig(), core.ZenSConfig()}
@@ -35,7 +51,7 @@ func main() {
 		ecfg.Threads = *threads
 		fmt.Printf("%-24s", ecfg.Name)
 		for _, records := range recordCounts {
-			rep, err := crashRecover(ecfg, records, *threads, *txns)
+			_, rep, err := crashRecover(ecfg, records, *threads, *txns)
 			if err != nil {
 				fmt.Printf("%12s", "ERR")
 				fmt.Fprintln(os.Stderr, ecfg.Name, records, err)
@@ -49,26 +65,74 @@ func main() {
 	fmt.Println("Breakdown for the largest configuration:")
 	for _, ecfg := range engines {
 		ecfg.Threads = *threads
-		rep, err := crashRecover(ecfg, recordCounts[len(recordCounts)-1], *threads, *txns)
+		e2, rep, err := crashRecover(ecfg, recordCounts[len(recordCounts)-1], *threads, *txns)
 		if err != nil {
 			continue
 		}
 		fmt.Printf("%-24s catalog %8.3f ms  index %8.3f ms  replay %8.3f ms  (scanned %d tuples, replayed %d records)\n",
 			ecfg.Name, float64(rep.CatalogNanos)/1e6, float64(rep.IndexNanos)/1e6,
 			float64(rep.ReplayNanos)/1e6, rep.TuplesScanned, rep.RecordsReplayed)
+		if *stats {
+			fmt.Println(e2.ObsSnapshot().Text())
+		}
 	}
 }
 
-func crashRecover(ecfg core.Config, records uint64, threads, txns int) (*core.RecoveryReport, error) {
+// runCrashMatrix runs the seeded crash-consistency matrix and returns the
+// process exit code (1 if any cell had an oracle violation).
+func runCrashMatrix(faults int, firstSeed uint64, preset, mode string) int {
+	var cells []crashtest.Cell
+	for _, c := range crashtest.Matrix() {
+		if preset != "" && !strings.EqualFold(c.Config.Name, preset) {
+			continue
+		}
+		if mode != "" && !strings.EqualFold(crashtest.ModeName(c.Mode), mode) {
+			continue
+		}
+		cells = append(cells, c)
+	}
+	if len(cells) == 0 {
+		fmt.Fprintf(os.Stderr, "no matrix cell matches -preset %q -mode %q\n", preset, mode)
+		return 2
+	}
+
+	fmt.Printf("Crash-consistency matrix: %d seeded crashes per cell, seeds %d..%d\n\n",
+		faults, firstSeed, firstSeed+uint64(faults)-1)
+	fmt.Printf("%-22s %-5s %7s %8s %6s %8s %9s %10s  %s\n",
+		"preset", "mode", "oracle", "crashes", "torn", "corrupt", "det.torn", "det.corr", "verdict")
+
+	exit := 0
+	for _, cell := range cells {
+		res := crashtest.RunCell(cell, crashtest.Options{Seeds: faults, FirstSeed: firstSeed})
+		oracle := "contain"
+		if res.Strict {
+			oracle = "strict"
+		}
+		verdict := "PASS"
+		if !res.Passed() {
+			verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+			exit = 1
+		}
+		fmt.Printf("%-22s %-5s %7s %8d %6d %8d %9d %10d  %s\n",
+			cell.Config.Name, crashtest.ModeName(cell.Mode), oracle,
+			res.Crashes, res.Torn, res.Corrupt, res.DetectedTorn, res.DetectedCorrupt, verdict)
+		for _, v := range res.Violations {
+			fmt.Printf("    seed %d: %s\n      repro: %s\n", v.Seed, v.Detail, cell.Repro(v.Seed))
+		}
+	}
+	return exit
+}
+
+func crashRecover(ecfg core.Config, records uint64, threads, txns int) (*core.Engine, *core.RecoveryReport, error) {
 	e, d, err := bench.NewYCSB(ecfg, ycsb.Config{Records: records, Workload: ycsb.A})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := bench.Run(e, "pre-crash", bench.Options{Workers: threads, TxnsPerWorker: txns},
 		func(w int) (int, error) { return 0, d.Next(w) }); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys := e.System().Crash()
-	_, rep, err := core.Recover(sys, ecfg)
-	return rep, err
+	e2, rep, err := core.Recover(sys, ecfg)
+	return e2, rep, err
 }

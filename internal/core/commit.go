@@ -129,9 +129,13 @@ func (tx *Txn) applyInsert(ins *insertOp) {
 	} else {
 		payload = ins.data
 	}
+	// Publish order: payload, then TID, then occupied LAST — the occupied
+	// flag makes the slot visible to recovery scans, and a crash between
+	// occupied and the TID store would expose the tuple with ts 0 (the
+	// always-committed bulk-load stamp).
 	t.heap.WritePayload(tx.clk, ins.slot, payload)
-	t.heap.SetOccupied(tx.clk, ins.slot)
 	t.heap.WriteTS(tx.clk, ins.slot, tx.tid)
+	t.heap.SetOccupied(tx.clk, ins.slot)
 	// Initialize the shadow word so future readers see our TID as writer.
 	lock, _ := t.heap.Meta(ins.slot)
 	if tx.e.cfg.CC.Base() == cc.TwoPL {

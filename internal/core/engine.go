@@ -61,6 +61,16 @@ type Engine struct {
 	phases       []obs.PhaseSet
 	abortReasons obs.AbortCounts
 	reg          *obs.Registry
+	// recPhases holds the recovery-path phase accounting when this engine
+	// was produced by Recover (nil for freshly created engines).
+	recPhases *obs.PhaseSet
+	// validateHits makes index lookups verify the tuple's key column and
+	// treat mismatches as misses. Recover enables it for NVM-index engines
+	// restarted under ADR: index mutations travel through the volatile
+	// cache, so the media can retain an entry whose delete was lost and
+	// whose slot has since been recycled by another row — following it
+	// blindly would serve that row's tuple under the wrong key.
+	validateHits bool
 }
 
 // workerScratch is a per-worker reusable payload buffer, padded against
@@ -201,6 +211,18 @@ func (e *Engine) initObs() {
 	e.reg.Register("pmem", func(s *obs.Snapshot) {
 		s.Mem = e.sys.Dev.Stats().Snapshot()
 	})
+	e.reg.Register("recovery", func(s *obs.Snapshot) {
+		if e.recPhases != nil {
+			e.recPhases.AddTo(&s.PhaseNanos)
+		}
+	})
+}
+
+// LogWindowRange returns the NVM address range [base, base+size) holding all
+// threads' log windows — the region fault plans target for corruption
+// injection (the durability chain's checksummed section).
+func (e *Engine) LogWindowRange() (base, size uint64) {
+	return e.windowBase, wal.BytesNeeded(e.cfg.Window) * uint64(e.cfg.Threads)
 }
 
 // scratchFor returns worker's reusable buffer of at least n bytes. Callers

@@ -125,9 +125,14 @@ func (tx *Txn) commitOutOfPlace() error {
 			return fmt.Errorf("%w: %s (out-of-place version)", ErrTableFull, g.t.name)
 		}
 		g.newSlot = slot
+		// Publish order: payload, then TID, then the occupied flag LAST. The
+		// occupied flag is what makes the slot visible to the recovery scan;
+		// were it written before the TID, a crash between the two stores
+		// would expose an uncommitted version with ts 0 — indistinguishable
+		// from bulk-loaded (always-committed) data.
 		g.t.heap.WritePayload(tx.clk, slot, scratch)
-		g.t.heap.SetOccupied(tx.clk, slot)
 		g.t.heap.WriteTS(tx.clk, slot, tx.tid)
+		g.t.heap.SetOccupied(tx.clk, slot)
 		if e.cfg.Flush != FlushNone {
 			tx.pt.To(obs.PhaseFlush)
 			g.t.heap.CLWBSlot(tx.clk, slot, 0, g.t.schema.TupleSize())
@@ -140,9 +145,10 @@ func (tx *Txn) commitOutOfPlace() error {
 	// Inserts: fresh slots, same durability rules.
 	for i := range tx.inserts {
 		ins := &tx.inserts[i]
+		// Same publish order as above: occupied flag last.
 		ins.t.heap.WritePayload(tx.clk, ins.slot, ins.data)
-		ins.t.heap.SetOccupied(tx.clk, ins.slot)
 		ins.t.heap.WriteTS(tx.clk, ins.slot, tx.tid)
+		ins.t.heap.SetOccupied(tx.clk, ins.slot)
 		if e.cfg.Flush != FlushNone {
 			tx.pt.To(obs.PhaseFlush)
 			ins.t.heap.CLWBSlot(tx.clk, ins.slot, 0, ins.t.schema.TupleSize())

@@ -9,6 +9,7 @@ import (
 	"falcon/internal/cc"
 	"falcon/internal/heap"
 	"falcon/internal/index"
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 	"falcon/internal/version"
@@ -38,6 +39,12 @@ type RecoveryReport struct {
 	// VersionsInvalidated counts uncommitted out-of-place versions rolled
 	// back.
 	VersionsInvalidated int
+	// TornRecords counts committed-state log records whose structure was
+	// inconsistent (lost lines); they are skipped as uncommitted.
+	TornRecords int
+	// CorruptRecords counts structurally valid log records rejected by CRC
+	// verification.
+	CorruptRecords int
 }
 
 // Recover reopens an engine from the post-crash durable image of sys. The
@@ -49,6 +56,14 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 	cfg = cfg.withDefaults()
 	clk := sim.NewClock()
 	rep := &RecoveryReport{}
+
+	// Recovery reports its virtual time through the same phase machinery as
+	// the commit path; the set is registered under "recovery" by initObs so
+	// `falcon-recovery -stats` shows the restart breakdown.
+	ps := &obs.PhaseSet{}
+	var pt obs.PhaseTimer
+	pt.Start(ps, clk)
+	pt.To(obs.PhaseRecCatalog)
 
 	img, err := readCatalog(sys.Space, clk)
 	if err != nil {
@@ -76,6 +91,12 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 	e.initWorkers()
 	e.windowBase = img.windowBase
 	e.markerBase = img.markerBase
+	// An NVM index that crashed with a volatile cache cannot be trusted
+	// blindly: entries whose delete never reached the media may still map
+	// dead keys to recycled slots. Hash indexes cannot be enumerated to
+	// purge such entries, so instead every post-recovery lookup validates
+	// the hit against the tuple's key column (see Engine.validateHits).
+	e.validateHits = cfg.Index == IndexNVM && sys.Config().Mode == pmem.ADR
 
 	// Reopen heaps; shadow CC metadata comes back zeroed — the paper's
 	// "clear the lock bits" step.
@@ -113,6 +134,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 
 	// Index recovery step 1: NVM indexes reattach structurally ("instant
 	// recovery"); DRAM indexes must be recreated and are filled below.
+	pt.To(obs.PhaseRecIndex)
 	mark := clk.Nanos()
 	for _, t := range e.tables {
 		if cfg.Index == IndexNVM {
@@ -148,6 +170,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		// NVM-index fixups; for DRAM indexes skip fixups and rebuild after.
 		rep.IndexNanos = clk.Nanos() - mark
 
+		pt.To(obs.PhaseRecReplay)
 		mark = clk.Nanos()
 		maxTID, err = e.replayLogs(clk, rep, cfg.Index == IndexNVM)
 		if err != nil {
@@ -156,6 +179,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		rep.ReplayNanos = clk.Nanos() - mark
 
 		if cfg.Index == IndexDRAM {
+			pt.To(obs.PhaseRecHeapScan)
 			mark = clk.Nanos()
 			e.rebuildDRAMIndexes(clk, rep)
 			rep.IndexNanos += clk.Nanos() - mark
@@ -166,6 +190,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		// deletes, and (re)build the index over the newest committed
 		// version of every key — one full heap scan, proportional to heap
 		// size (§6.5: ZenS's 9.4 s vs Falcon's milliseconds).
+		pt.To(obs.PhaseRecHeapScan)
 		m, err2 := e.recoverOutOfPlace(clk, rep)
 		if err2 != nil {
 			return nil, nil, err2
@@ -175,6 +200,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 	}
 
 	// Restore the TID clock past everything ever issued.
+	pt.To(obs.PhaseRecCatalog) // epoch bookkeeping: TID clock, fresh windows
 	winBytes := wal.BytesNeeded(e.cfg.Window)
 	for t := 0; t < cfg.Threads; t++ {
 		if w := wal.MaxTID(e.nvm, clk, e.windowBase+uint64(t)*winBytes, e.cfg.Window); w > maxTID {
@@ -193,6 +219,8 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		e.windows[t].Reset(clk)
 	}
 
+	pt.Finish()
+	e.recPhases = ps
 	rep.TotalNanos = clk.Nanos()
 	rep.Wall = time.Since(start)
 	return e, rep, nil
@@ -209,13 +237,19 @@ func (e *Engine) openIndexOn(space pmem.Space, clk *sim.Clock, off uint64, kind 
 // applies them with the tuple-timestamp guard that makes replay idempotent
 // and clobber-free (§5.3).
 func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool) (uint64, error) {
+	// Under eADR the crash flush preserved every in-cache index mutation, so
+	// the reattached NVM index is exactly the pre-crash state and must not
+	// be second-guessed. Under ADR index mutations may have been lost, so
+	// replay additionally repairs entries from the log (see the OpInsert and
+	// OpDelete arms); entries whose records rotated out of the window are
+	// caught lazily by Engine.validateHits.
+	adrIndexFix := fixIndexes && e.sys.Config().Mode == pmem.ADR
 	winBytes := wal.BytesNeeded(e.cfg.Window)
 	var recs []wal.Record
 	for t := 0; t < e.cfg.Threads; t++ {
-		r, err := wal.ReadRecords(e.nvm, clk, e.windowBase+uint64(t)*winBytes, e.cfg.Window)
-		if err != nil {
-			return 0, err
-		}
+		r, sr := wal.ReadRecords(e.nvm, clk, e.windowBase+uint64(t)*winBytes, e.cfg.Window)
+		rep.TornRecords += sr.Torn
+		rep.CorruptRecords += sr.Corrupt
 		recs = append(recs, r...)
 	}
 	wal.SortRecords(recs)
@@ -231,11 +265,37 @@ func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool
 				return 0, errors.New("core: log references unknown table")
 			}
 			t := e.tables[op.Table]
+			if op.Type == wal.OpInsert {
+				// The allocation cursor is cached state and may have
+				// reverted past this slot; repair it (regardless of the
+				// timestamp guard below — any durable occupant means the
+				// cursor must already be past the slot).
+				t.heap.EnsureCursorPast(clk, op.Slot)
+			}
 			// Guard: a tuple whose durable timestamp is newer than this
 			// record was overwritten by a later committed transaction whose
 			// record may be gone; replaying would clobber it.
 			cur := t.heap.ReadTS(clk, op.Slot)
 			if rec.TID < cur {
+				// The slot was overwritten by a later committed transaction
+				// (e.g. the delete's slot was recycled by a newer insert).
+				// The heap write must be skipped, but under ADR a stale
+				// index entry left by the lost in-cache delete may still map
+				// the dead key to the recycled slot — serving another row's
+				// tuple. Remove it iff it still points at this slot and the
+				// slot's durable occupant is not a live newer version of the
+				// same key (the key may have been re-inserted right back
+				// into its recycled slot).
+				if op.Type == wal.OpDelete && adrIndexFix {
+					if s, ok := t.primary.Get(clk, op.Key); ok && s == op.Slot {
+						var b [8]byte
+						t.heap.ReadRange(clk, op.Slot, t.schema.Offset(t.keyCol), b[:])
+						dead := t.heap.ReadFlags(clk, op.Slot)&(heap.FlagDeleted|heap.FlagInvalidated) != 0
+						if leU64(b[:]) != op.Key || dead {
+							t.primary.Delete(clk, op.Key)
+						}
+					}
+				}
 				continue
 			}
 			switch op.Type {
@@ -243,10 +303,24 @@ func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool
 				t.heap.WriteRange(clk, op.Slot, op.Off, op.Data)
 				t.heap.WriteTS(clk, op.Slot, rec.TID)
 			case wal.OpInsert:
+				// Same publish order as the runtime: occupied flag last.
 				t.heap.WritePayload(clk, op.Slot, op.Data)
-				t.heap.SetOccupied(clk, op.Slot)
 				t.heap.WriteTS(clk, op.Slot, rec.TID)
-				if fixIndexes {
+				t.heap.SetOccupied(clk, op.Slot)
+				if adrIndexFix {
+					// Repoint rather than skip: the key may still carry a
+					// stale entry from a lost in-cache index update.
+					key := t.schema.GetUint64(op.Data, t.keyCol)
+					if !t.primary.Update(clk, key, op.Slot) {
+						_ = t.primary.Insert(clk, key, op.Slot)
+					}
+					if t.secondary != nil {
+						secKey := t.schema.GetUint64(op.Data, t.secondaryCol)
+						if !t.secondary.Update(clk, secKey, op.Slot) {
+							_ = t.secondary.Insert(clk, secKey, op.Slot)
+						}
+					}
+				} else if fixIndexes {
 					key := t.schema.GetUint64(op.Data, t.keyCol)
 					_ = t.primary.Insert(clk, key, op.Slot) // idempotent: duplicates ignored
 					if t.secondary != nil {
@@ -320,8 +394,20 @@ func (e *Engine) recoverOutOfPlace(clk *sim.Clock, rep *RecoveryReport) (uint64,
 		t := t
 		newest := make(map[uint64]best, t.capacity/2+1)
 		var stale []uint64
-		t.heap.Scan(clk, func(slot, ts uint64, flags uint8, payload []byte) {
+		// The durable deleted lists are cached state and may be stale on the
+		// media after an ADR crash (they could even reference live slots).
+		// Discard them and rebuild from the scan's classification below.
+		t.heap.ResetDeletedLists(clk)
+		// Full-range scan, not cursor-bounded: the allocation cursors are
+		// cached state and may have reverted in the crash, hiding committed
+		// versions past them. maxOcc tracks the highest occupied slot per
+		// owning thread (as slot+1) so the cursors can be repaired after.
+		maxOcc := make([]uint64, t.heap.NThreads())
+		t.heap.ScanAll(clk, func(slot, ts uint64, flags uint8, payload []byte) {
 			rep.TuplesScanned++
+			if o := t.heap.Owner(slot); slot+1 > maxOcc[o] {
+				maxOcc[o] = slot + 1
+			}
 			if ts > maxTID {
 				maxTID = ts
 			}
@@ -336,6 +422,19 @@ func (e *Engine) recoverOutOfPlace(clk *sim.Clock, rep *RecoveryReport) (uint64,
 				writer = t.heap.Owner(slot)
 			}
 			committed := ts <= markers[writer]
+			// dropEntry removes the key's index entry if it points at this
+			// slot: rolling back a version must also roll back an index
+			// repoint that already landed (a crash between the index update
+			// and the marker, preserved verbatim by an eADR crash flush).
+			// An insert's rolled-back version has no older version for the
+			// repoint loop below to restore, so a dangling entry would
+			// otherwise serve an invalidated slot forever.
+			dropEntry := func() {
+				key := t.schema.GetUint64(payload, t.keyCol)
+				if s, ok := t.primary.Get(clk, key); ok && s == slot {
+					t.primary.Delete(clk, key)
+				}
+			}
 			if !committed {
 				switch {
 				case flags&heap.FlagDeleted != 0:
@@ -344,15 +443,25 @@ func (e *Engine) recoverOutOfPlace(clk *sim.Clock, rep *RecoveryReport) (uint64,
 					t.heap.ClearDeleted(clk, slot)
 					rep.VersionsInvalidated++
 				case flags&heap.FlagInvalidated != 0:
-					return // already rolled back
+					// Already rolled back (e.g. by a prior recovery); relink
+					// onto the rebuilt list so the slot is recycled.
+					dropEntry()
+					t.heap.Link(clk, slot, 0)
+					return
 				default:
 					// Uncommitted new version: roll back.
 					t.heap.Retire(clk, slot, ts, 0, true)
 					rep.VersionsInvalidated++
+					dropEntry()
 					return
 				}
 			} else if flags&(heap.FlagDeleted|heap.FlagInvalidated) != 0 {
-				return // committed dead version
+				// Committed dead version: the crash may have beaten the
+				// in-cache index removal; drop a still-pointing entry, then
+				// relink the slot onto the rebuilt list.
+				dropEntry()
+				t.heap.Link(clk, slot, 0)
+				return
 			}
 			key := t.schema.GetUint64(payload, t.keyCol)
 			if b, ok := newest[key]; ok {
@@ -366,6 +475,11 @@ func (e *Engine) recoverOutOfPlace(clk *sim.Clock, rep *RecoveryReport) (uint64,
 				newest[key] = best{slot, ts}
 			}
 		})
+		for _, m := range maxOcc {
+			if m > 0 {
+				t.heap.EnsureCursorPast(clk, m-1)
+			}
+		}
 		// Versions superseded by a newer committed version whose
 		// invalidation did not land before the crash.
 		for _, slot := range stale {

@@ -194,11 +194,36 @@ func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
 		tx.overlayOwnWrites(t, ins.slot, off, n, dst)
 		return nil
 	}
-	slot, ok := t.primary.Get(tx.clk, key)
+	slot, ok := tx.resolve(t, key)
 	if !ok {
 		return ErrNotFound
 	}
 	return tx.readResolved(t, key, slot, off, n, dst)
+}
+
+// resolve looks key up in the primary index. When the engine distrusts its
+// recovered NVM index (see Engine.validateHits) the hit is validated
+// against the tuple's durable key column and flags: a key mismatch or a
+// dead occupant means the entry is a stale survivor of a lost in-cache
+// index update and is treated as a miss. (A key whose live version moved
+// was repointed during recovery, so a surviving dead-slot entry can only
+// belong to a key with no live version.)
+func (tx *Txn) resolve(t *Table, key uint64) (uint64, bool) {
+	slot, ok := t.primary.Get(tx.clk, key)
+	if !ok {
+		return 0, false
+	}
+	if tx.e.validateHits {
+		if t.heap.ReadFlags(tx.clk, slot)&(heap.FlagDeleted|heap.FlagInvalidated) != 0 {
+			return 0, false
+		}
+		var b [8]byte
+		t.heap.ReadRange(tx.clk, slot, t.schema.Offset(t.keyCol), b[:])
+		if leU64(b[:]) != key {
+			return 0, false
+		}
+	}
+	return slot, true
 }
 
 // readResolved is the concurrency-controlled read of an already-resolved
@@ -379,7 +404,7 @@ func (tx *Txn) Update(t *Table, key uint64, off int, data []byte) error {
 	if ins := tx.findInsert(t, key); ins != nil {
 		return tx.updatePendingInsert(ins, off, data)
 	}
-	slot, ok := t.primary.Get(tx.clk, key)
+	slot, ok := tx.resolve(t, key)
 	if !ok {
 		return ErrNotFound
 	}
@@ -401,7 +426,7 @@ func (tx *Txn) Delete(t *Table, key uint64) error {
 	if tx.ro {
 		return ErrReadOnly
 	}
-	slot, ok := t.primary.Get(tx.clk, key)
+	slot, ok := tx.resolve(t, key)
 	if !ok {
 		return ErrNotFound
 	}
@@ -431,7 +456,7 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 	if !tx.e.resv.tryReserve(tx.clk, t.id, key) {
 		return ErrConflict // another in-flight insert on the same key
 	}
-	if _, exists := t.primary.Get(tx.clk, key); exists {
+	if _, exists := tx.resolve(t, key); exists {
 		tx.e.resv.release(tx.clk, t.id, key)
 		return ErrDuplicateKey
 	}

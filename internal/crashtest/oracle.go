@@ -1,0 +1,91 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+
+	"falcon/internal/core"
+)
+
+// verify checks the recovered engine against the golden model.
+//
+// Strict oracle (durable linearizability): every acknowledged transaction's
+// effects are present exactly; the single in-flight transaction is all-or-
+// nothing (every row at pre, or every row at post); nothing else changed.
+//
+// Relaxed oracle (containment): a present row's value must be one the
+// workload actually intended for it at some point — recovery may have lost
+// acknowledged tail transactions (the cell's configuration never promised
+// them durable), but it must never invent values or surface a row the
+// workload never wrote.
+//
+// Both oracles additionally check index↔heap agreement: a row fetched by
+// key k must carry k in its payload.
+func verify(e *core.Engine, m *model, strict bool) []string {
+	var viol []string
+
+	readRow := func(ck cellKey) (val int64, found bool) {
+		tbl := e.Table(ck.table)
+		s := tbl.Schema()
+		buf := make([]byte, s.TupleSize())
+		err := e.RunRO(0, func(tx *core.Txn) error { return tx.Read(tbl, ck.key, buf) })
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			return 0, false
+		case err != nil:
+			viol = append(viol, fmt.Sprintf("%s/%d: read failed: %v", ck.table, ck.key, err))
+			return 0, false
+		}
+		if got := s.GetUint64(buf, 0); got != ck.key {
+			viol = append(viol, fmt.Sprintf("%s/%d: index↔heap disagreement: payload key %d", ck.table, ck.key, got))
+		}
+		return s.GetInt64(buf, 1), true
+	}
+
+	matches := func(val int64, found bool, exp *int64) bool {
+		if exp == nil {
+			return !found
+		}
+		return found && val == *exp
+	}
+
+	inFl := make(map[cellKey]write, len(m.inFlight))
+	for _, w := range m.inFlight {
+		inFl[w.ck] = w
+	}
+	preOK, postOK := true, true
+
+	for _, ck := range sortedTouched(m) {
+		val, found := readRow(ck)
+		if w, ok := inFl[ck]; ok && strict {
+			// In-flight rows are judged as a group below.
+			if !matches(val, found, w.pre) {
+				preOK = false
+			}
+			if !matches(val, found, w.post) {
+				postOK = false
+			}
+			continue
+		}
+		if strict {
+			exp, ok := m.committed[ck]
+			switch {
+			case ok && !found:
+				viol = append(viol, fmt.Sprintf("%s/%d: committed row missing (want %d)", ck.table, ck.key, exp))
+			case ok && val != exp:
+				viol = append(viol, fmt.Sprintf("%s/%d: committed value lost: got %d want %d", ck.table, ck.key, val, exp))
+			case !ok && found:
+				viol = append(viol, fmt.Sprintf("%s/%d: deleted/absent row resurfaced with %d", ck.table, ck.key, val))
+			}
+		} else if found {
+			if !m.seen[ck][val] {
+				viol = append(viol, fmt.Sprintf("%s/%d: invented value %d (never written)", ck.table, ck.key, val))
+			}
+		}
+	}
+
+	if strict && len(inFl) > 0 && !preOK && !postOK {
+		viol = append(viol, fmt.Sprintf("in-flight transaction partially visible across %d rows", len(inFl)))
+	}
+	return viol
+}

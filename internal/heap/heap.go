@@ -208,9 +208,18 @@ func Open(space pmem.Space, clk *sim.Clock, base uint64) (*Heap, error) {
 	h.free = make([][]freeEntry, h.nthreads)
 	// Rebuild the DRAM free mirror from the durable lists. Horizons reset
 	// to zero: after a crash no transaction can hold stale references.
+	// Under ADR the list head/tail words and the per-slot link words are
+	// cached state that may be stale or torn on the media, so the walk is
+	// defensive: an out-of-range link or a list longer than the thread's
+	// slot range (a cycle) terminates the walk instead of looping or
+	// mirroring garbage. Out-of-place recovery additionally discards these
+	// lists wholesale and rebuilds them from the heap scan.
 	for t := 0; t < h.nthreads; t++ {
 		for link := h.readThr(clk, t, thrDelHead); link != 0; {
 			slot := link - 1
+			if slot >= h.nslots || uint64(len(h.free[t])) >= h.perThread {
+				break
+			}
 			h.free[t] = append(h.free[t], freeEntry{slot: slot})
 			link = h.readFlagsWord(clk, slot) >> 8
 		}
@@ -409,9 +418,20 @@ func (h *Heap) MarkDeleted(clk *sim.Clock, slot uint64, ts uint64) {
 }
 
 // MarkInvalidated durably records that slot's version was superseded at ts.
+//
+// Store order matters for crash consistency: the flag must land before the
+// timestamp. Invalidation runs after the commit marker, so a crash between
+// the two stores must leave the old version either fully live with its
+// ORIGINAL timestamp (flag not yet written — recovery's newest-version scan
+// then prefers the new version, whose TID is higher) or dead (flag written —
+// recovery relinks it). Stamping ts first would, on a crash between the
+// stores, leave TWO live versions of the key carrying the same TID, and the
+// scan could repoint the index at the superseded payload. MarkDeleted is the
+// opposite: its timestamp IS the durable commit protocol (written before the
+// marker), so there ts must land first.
 func (h *Heap) MarkInvalidated(clk *sim.Clock, slot uint64, ts uint64) {
-	h.WriteTS(clk, slot, ts)
 	h.writeFlagsWord(clk, slot, FlagOccupied|FlagInvalidated)
+	h.WriteTS(clk, slot, ts)
 }
 
 // ClearDeleted rolls back an uncommitted delete record (recovery only).
@@ -484,19 +504,64 @@ func (h *Heap) AllocatedBound(clk *sim.Clock, t int) uint64 {
 // expensive, heap-size-proportional operation that out-of-place engines must
 // run during recovery to rebuild their DRAM index.
 func (h *Heap) Scan(clk *sim.Clock, fn func(slot uint64, ts uint64, flags uint8, payload []byte)) {
+	for t := 0; t < h.nthreads; t++ {
+		h.scanRange(clk, uint64(t)*h.perThread, h.AllocatedBound(clk, t), fn)
+	}
+}
+
+// ScanAll is Scan over each thread's entire slot range, ignoring the
+// allocation cursors. The cursors are written through the cache and never
+// flushed on the hot path, so after an ADR crash they can revert to a stale
+// value — a cursor-bounded scan would then miss durably committed versions
+// past the stale cursor. Crash recovery scans the whole heap (the paper's
+// §6.5 full-scan recovery) and repairs the cursors with EnsureCursorPast.
+func (h *Heap) ScanAll(clk *sim.Clock, fn func(slot uint64, ts uint64, flags uint8, payload []byte)) {
+	for t := 0; t < h.nthreads; t++ {
+		h.scanRange(clk, uint64(t)*h.perThread, (uint64(t)+1)*h.perThread, fn)
+	}
+}
+
+func (h *Heap) scanRange(clk *sim.Clock, lo, hi uint64, fn func(slot uint64, ts uint64, flags uint8, payload []byte)) {
 	buf := make([]byte, h.slotSize)
 	var hdr [16]byte
-	for t := 0; t < h.nthreads; t++ {
-		bound := h.AllocatedBound(clk, t)
-		for slot := uint64(t) * h.perThread; slot < bound; slot++ {
-			h.space.Read(clk, h.slotOff(slot), hdr[:])
-			ts := binary.LittleEndian.Uint64(hdr[0:])
-			flags := uint8(binary.LittleEndian.Uint64(hdr[8:]) & 0xFF)
-			if flags&FlagOccupied == 0 {
-				continue
-			}
-			h.space.Read(clk, h.PayloadAddr(slot), buf)
-			fn(slot, ts, flags, buf)
+	for slot := lo; slot < hi; slot++ {
+		h.space.Read(clk, h.slotOff(slot), hdr[:])
+		ts := binary.LittleEndian.Uint64(hdr[0:])
+		flags := uint8(binary.LittleEndian.Uint64(hdr[8:]) & 0xFF)
+		if flags&FlagOccupied == 0 {
+			continue
 		}
+		h.space.Read(clk, h.PayloadAddr(slot), buf)
+		fn(slot, ts, flags, buf)
+	}
+}
+
+// EnsureCursorPast bumps the owning thread's allocation cursor to slot+1 if
+// it is behind. Recovery calls this for every occupied slot it accepts, so a
+// crash-reverted cursor cannot hand a recovered tuple's slot out again.
+func (h *Heap) EnsureCursorPast(clk *sim.Clock, slot uint64) {
+	t := h.Owner(slot)
+	h.listMu[t].Lock()
+	defer h.listMu[t].Unlock()
+	if cur := h.readThr(clk, t, thrCursor); cur <= slot {
+		h.writeThr(clk, t, thrCursor, slot+1)
+	}
+}
+
+// ResetDeletedLists clears every thread's durable deleted list and its DRAM
+// mirror. The list head/tail and per-slot link words are written through the
+// cache on the hot path, so after an ADR crash the media may hold a stale
+// list that still references slots re-allocated (and live) before the crash
+// — recycling such an entry would clobber a committed tuple. Out-of-place
+// recovery already classifies every slot via its full heap scan, so it calls
+// this first and relinks the dead slots it finds, rebuilding the lists from
+// scratch.
+func (h *Heap) ResetDeletedLists(clk *sim.Clock) {
+	for t := 0; t < h.nthreads; t++ {
+		h.listMu[t].Lock()
+		h.writeThr(clk, t, thrDelHead, 0)
+		h.writeThr(clk, t, thrDelTail, 0)
+		h.free[t] = nil
+		h.listMu[t].Unlock()
 	}
 }

@@ -47,13 +47,29 @@ const (
 	// recycling, and the abort overhead charge.
 	PhaseAbort
 
+	// The remaining phases partition recovery (core.Recover) rather than a
+	// transaction: restart-path virtual time reported from the same registry
+	// as the commit path, so `falcon-recovery -stats` shows both.
+
+	// PhaseRecCatalog is reading the durable catalog and reattaching table
+	// heaps and log windows.
+	PhaseRecCatalog
+	// PhaseRecIndex is opening NVM indexes or allocating fresh DRAM ones.
+	PhaseRecIndex
+	// PhaseRecReplay is scanning log windows and replaying committed records.
+	PhaseRecReplay
+	// PhaseRecHeapScan is heap-order scanning: rebuilding DRAM indexes and
+	// the out-of-place engines' full-heap recovery pass.
+	PhaseRecHeapScan
+
 	// NumPhases is the number of phases (array sizing).
-	NumPhases = int(PhaseAbort) + 1
+	NumPhases = int(PhaseRecHeapScan) + 1
 )
 
 // PhaseNames maps Phase values to stable short names (rendering, JSON).
 var PhaseNames = [NumPhases]string{
 	"exec", "cc", "log-append", "heap-write", "index-update", "flush", "abort",
+	"rec-catalog", "rec-index", "rec-replay", "rec-heap-scan",
 }
 
 func (p Phase) String() string {

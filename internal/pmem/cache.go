@@ -34,6 +34,10 @@ type Cache struct {
 	lower backend
 	stats *Stats
 	cost  sim.CostModel
+	// faults, when non-nil, is the armed crash-injection plan (test
+	// harnesses only; see FaultPlan). Nil on every production path, so the
+	// hot loops pay a single predictable branch.
+	faults *FaultPlan
 }
 
 // lineMeta is the scanned-per-access part of a cache line. It is kept apart
@@ -114,6 +118,10 @@ func (c *Cache) checkRange(addr uint64, n int) {
 // write-backs.
 func (c *Cache) Store(clk *sim.Clock, addr uint64, src []byte) {
 	c.checkRange(addr, len(src))
+	if c.faults != nil {
+		c.faults.note(FaultStore)
+		c.faults.check()
+	}
 	sh := c.stats.ShardFor(clk)
 	sh.BytesStored.Add(uint64(len(src)))
 	for len(src) > 0 {
@@ -124,6 +132,11 @@ func (c *Cache) Store(clk *sim.Clock, addr uint64, src []byte) {
 			n = len(src)
 		}
 		c.storeLine(clk, sh, la, off, src[:n])
+		if c.faults != nil {
+			// A line store may have noted evictions/drains under the set
+			// lock; fire the pending crash now that no lock is held.
+			c.faults.check()
+		}
 		addr += uint64(n)
 		src = src[n:]
 	}
@@ -177,6 +190,9 @@ func (c *Cache) Load(clk *sim.Clock, addr uint64, dst []byte) {
 			n = len(dst)
 		}
 		c.loadLine(clk, sh, la, off, dst[:n])
+		if c.faults != nil {
+			c.faults.check() // evictions noted under the set lock
+		}
 		addr += uint64(n)
 		dst = dst[n:]
 	}
@@ -223,6 +239,10 @@ func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
 	sh := c.stats.ShardFor(clk)
 	end := addr + uint64(n)
 	for la := lineFloor(addr); la < end; la += LineSize {
+		if c.faults != nil {
+			c.faults.note(FaultFlush)
+			c.faults.check()
+		}
 		clk.Advance(c.cost.ClwbIssue)
 		set := c.setFor(la)
 		set.mu.lock()
@@ -233,6 +253,9 @@ func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
 			sh.ClwbWritebacks.Add(1)
 		}
 		set.mu.unlock()
+		if c.faults != nil {
+			c.faults.check() // drains noted under the bank lock
+		}
 	}
 }
 
@@ -265,6 +288,14 @@ func (c *Cache) FlushAll(clk *sim.Clock) {
 // — a restarted system boots cold.
 func (c *Cache) CrashFlush() {
 	clk := sim.NewClock() // crash flushing is not charged to any worker
+	c.crashWriteback(clk)
+	c.lower.drain(clk)
+}
+
+// crashWriteback runs the persistence-domain line sweep of CrashFlush
+// without the backend drain, so a fault plan can tear buffered blocks
+// between the two steps (System.Crash).
+func (c *Cache) crashWriteback(clk *sim.Clock) {
 	sh := c.stats.ShardFor(clk)
 	for i := range c.sets {
 		set := &c.sets[i]
@@ -283,13 +314,15 @@ func (c *Cache) CrashFlush() {
 		}
 		set.mu.unlock()
 	}
-	c.lower.drain(clk)
 }
 
 // evictLocked frees way w, writing back its line if dirty. Caller holds the
 // set mutex and immediately reuses the slot.
 func (c *Cache) evictLocked(clk *sim.Clock, sh *StatShard, set *cacheSet, w int) {
 	m := &set.meta[w]
+	if c.faults != nil && m.state != lineInvalid {
+		c.faults.note(FaultEvict) // under the set lock: note only, no panic
+	}
 	switch m.state {
 	case lineDirty:
 		clk.Advance(c.cost.LineWriteback)

@@ -1,0 +1,146 @@
+package pmem
+
+import "fmt"
+
+// FaultEvent identifies a class of simulated hardware event at which an
+// injected crash can fire. Counting happens at the pmem layer — the layer
+// whose persistence semantics the crash is meant to stress — so "the Nth
+// store" means the Nth cache Store call, not the Nth engine operation.
+type FaultEvent uint8
+
+const (
+	// FaultStore counts cache Store calls (one per Store, not per line).
+	FaultStore FaultEvent = iota
+	// FaultFlush counts CLWB line write-back attempts.
+	FaultFlush
+	// FaultEvict counts dirty/clean cache-line evictions on the miss path.
+	FaultEvict
+	// FaultDrain counts XPBuffer slot evictions to the media.
+	FaultDrain
+
+	// NumFaultEvents sizes per-event arrays.
+	NumFaultEvents = int(FaultDrain) + 1
+)
+
+// FaultEventNames maps FaultEvent values to stable short names.
+var FaultEventNames = [NumFaultEvents]string{"store", "flush", "evict", "drain"}
+
+func (e FaultEvent) String() string {
+	if int(e) < NumFaultEvents {
+		return FaultEventNames[e]
+	}
+	return "unknown"
+}
+
+// FaultPlan is a seeded, deterministic crash-injection plan. Armed on a
+// System via SetFaults, it counts pmem events and panics with *InjectedCrash
+// when the Nth occurrence of Event is reached; the crashtest harness recovers
+// the panic and runs System.Crash. With N == 0 the plan only counts, which is
+// how a harness calibrates how many events a workload generates.
+//
+// Concurrency contract: the fields are plain (non-atomic) because fault
+// injection is a single-goroutine test harness feature — the driver runs all
+// transactions from one goroutine. Arming a plan on a system driven by
+// concurrent workers is unsupported.
+//
+// Injection points are split in two halves so a panic can never unwind
+// through a held spinlock (which would deadlock the crash flush): note()
+// increments counters and may mark the plan tripped but never panics, so it
+// is safe under cache-set and XPBuffer-bank locks; check() performs the
+// actual panic and is called only at lock-free points.
+type FaultPlan struct {
+	// Event and N select the trigger: crash at the Nth occurrence of Event
+	// (1-based). N == 0 disables tripping (count-only calibration mode).
+	Event FaultEvent
+	N     uint64
+	// Torn injects a torn 256 B media write at crash time: one buffered
+	// XPBuffer block loses a random nonempty subset of its valid lines
+	// before the crash drain, so the media keeps the previous durable
+	// content of the lost lines.
+	Torn bool
+	// Corrupt flips one durable byte in [CorruptLo, CorruptHi) on the device
+	// after the crash drain — media corruption the WAL checksums must catch.
+	Corrupt              bool
+	CorruptLo, CorruptHi uint64
+	// Seed drives the torn/corrupt pseudo-random choices.
+	Seed uint64
+
+	counts   [NumFaultEvents]uint64
+	tripped  bool
+	disarmed bool
+}
+
+// Counts returns the per-event occurrence counts accumulated so far.
+func (p *FaultPlan) Counts() [NumFaultEvents]uint64 { return p.counts }
+
+// Tripped reports whether the trigger condition has been reached.
+func (p *FaultPlan) Tripped() bool { return p.tripped }
+
+// note records one occurrence of e and arms the pending crash when the
+// trigger is reached. It never panics, so it is safe to call while holding
+// simulation spinlocks.
+func (p *FaultPlan) note(e FaultEvent) {
+	p.counts[e]++
+	if !p.tripped && !p.disarmed && p.N != 0 && e == p.Event && p.counts[e] >= p.N {
+		p.tripped = true
+	}
+}
+
+// check fires the pending crash. Callers guarantee no simulation locks are
+// held. The plan disarms itself so the panic fires exactly once — the crash
+// flush that follows generates more events and must not re-trip.
+func (p *FaultPlan) check() {
+	if p.tripped && !p.disarmed {
+		p.disarmed = true
+		panic(&InjectedCrash{Event: p.Event, N: p.N})
+	}
+}
+
+// disarm stops the plan from tripping or firing (called by Crash before the
+// crash flush so drain traffic is not counted as new triggers).
+func (p *FaultPlan) disarm() { p.disarmed = true }
+
+// InjectedCrash is the panic value thrown at a fault-plan trigger point.
+type InjectedCrash struct {
+	Event FaultEvent
+	N     uint64
+}
+
+func (c *InjectedCrash) Error() string {
+	return fmt.Sprintf("pmem: injected crash at %s #%d", c.Event, c.N)
+}
+
+// IsInjectedCrash reports whether a recover() value is an injected crash.
+func IsInjectedCrash(r any) bool {
+	_, ok := r.(*InjectedCrash)
+	return ok
+}
+
+// rng returns the next value of a splitmix64 stream threaded through *state.
+func rng(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// corruptDevice flips one byte of the durable image inside
+// [CorruptLo, CorruptHi), simulating media corruption that escaped the
+// module's internal ECC. Runs after the crash drain, on raw device state.
+func (p *FaultPlan) corruptDevice(dev *Device) {
+	lo, hi := p.CorruptLo, p.CorruptHi
+	if hi <= lo || hi > dev.Size() {
+		return
+	}
+	state := p.Seed ^ 0xc0ffee
+	off := lo + rng(&state)%(hi-lo)
+	var b [1]byte
+	dev.RawRead(off, b[:])
+	flip := byte(rng(&state))
+	if flip == 0 {
+		flip = 0xff
+	}
+	b[0] ^= flip
+	dev.RawWrite(off, b[:])
+}

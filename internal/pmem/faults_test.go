@@ -1,0 +1,196 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"falcon/internal/sim"
+)
+
+// TestFaultPlanFiresAtNthEvent: a plan armed on the Nth store panics with an
+// InjectedCrash exactly there, and IsInjectedCrash recognises it.
+func TestFaultPlanFiresAtNthEvent(t *testing.T) {
+	sys := NewSystem(Config{DeviceBytes: 1 << 20})
+	plan := &FaultPlan{Event: FaultStore, N: 3, Seed: 1}
+	sys.SetFaults(plan)
+	clk := sim.NewClock()
+
+	var fired any
+	stores := 0
+	func() {
+		defer func() { fired = recover() }()
+		for i := 0; i < 10; i++ {
+			var b [8]byte
+			sys.Space.Write(clk, uint64(i)*64, b[:])
+			stores++
+		}
+	}()
+	if fired == nil {
+		t.Fatal("plan never fired")
+	}
+	if !IsInjectedCrash(fired) {
+		panic(fired) // a real bug, not an injection
+	}
+	if stores != 2 {
+		t.Fatalf("crash fired after %d completed stores, want 2 (mid-3rd)", stores)
+	}
+	if !plan.Tripped() {
+		t.Error("Tripped() false after firing")
+	}
+	// A tripped plan is disarmed: further events must not re-panic (the
+	// crash flush itself performs stores and flushes).
+	var b [8]byte
+	sys.Space.Write(clk, 512, b[:])
+}
+
+// TestCountOnlyPlanIsInert: an armed plan with N == 0 counts events without
+// ever firing, and perturbs neither virtual time nor simulated state —
+// fault hooks must be zero-cost when not firing.
+func TestCountOnlyPlanIsInert(t *testing.T) {
+	run := func(plan *FaultPlan) (nanos uint64, img []byte) {
+		sys := NewSystem(Config{DeviceBytes: 1 << 20, CacheBytes: 4 << 10, XPBufferBytes: 2 << 10, XPBanks: 2})
+		if plan != nil {
+			sys.SetFaults(plan)
+		}
+		clk := sim.NewClock()
+		var b [64]byte
+		for i := 0; i < 400; i++ {
+			b[0] = byte(i)
+			sys.Space.Write(clk, uint64(i%100)*64, b[:])
+			if i%7 == 0 {
+				sys.Space.CLWB(clk, uint64(i%100)*64, 64)
+				sys.Space.SFence(clk)
+			}
+		}
+		img = make([]byte, 100*64)
+		sys.Crash().Dev.RawRead(0, img)
+		return clk.Nanos(), img
+	}
+
+	plan := &FaultPlan{}
+	armedNanos, armedImg := run(plan)
+	nilNanos, nilImg := run(nil)
+	if armedNanos != nilNanos {
+		t.Errorf("virtual time differs: armed %d vs nil %d", armedNanos, nilNanos)
+	}
+	if !bytes.Equal(armedImg, nilImg) {
+		t.Error("durable image differs between armed-unfired and nil plans")
+	}
+	counts := plan.Counts()
+	if counts[FaultStore] == 0 || counts[FaultFlush] == 0 {
+		t.Errorf("count-only plan saw no events: %v", counts)
+	}
+}
+
+// TestXPBufferDrainsOnCrashBothModes pins the §4 contract that motivated the
+// crash-flush audit: a line sitting only in the XPBuffer (the ADR
+// persistence domain) must reach the media on crash in BOTH modes — the
+// WPQ/XPBuffer drain is exactly what ADR hardware guarantees.
+func TestXPBufferDrainsOnCrashBothModes(t *testing.T) {
+	for _, mode := range []Mode{EADR, ADR} {
+		sys := NewSystem(Config{Mode: mode, DeviceBytes: 1 << 20})
+		clk := sim.NewClock()
+		var line [LineSize]byte
+		for i := range line {
+			line[i] = byte(i + 1)
+		}
+		sys.XPB.WriteLine(clk, 4096, &line)
+
+		var before [LineSize]byte
+		sys.Dev.RawRead(4096, before[:])
+		if bytes.Equal(before[:], line[:]) {
+			t.Fatalf("mode %v: line reached media before crash (not buffered)", mode)
+		}
+		sys2 := sys.Crash()
+		var after [LineSize]byte
+		sys2.Dev.RawRead(4096, after[:])
+		if !bytes.Equal(after[:], line[:]) {
+			t.Errorf("mode %v: buffered line lost in crash: %x", mode, after[:8])
+		}
+	}
+}
+
+// TestTornWriteDropsLinesAtomically: torn injection on crash loses whole
+// 64-byte lines of one buffered 256-byte block — surviving lines carry the
+// new data, dropped lines keep the previous durable content, and at least
+// one line of the block is dropped.
+func TestTornWriteDropsLinesAtomically(t *testing.T) {
+	sys := NewSystem(Config{Mode: ADR, DeviceBytes: 1 << 20})
+	clk := sim.NewClock()
+	const base = 8192 // block-aligned
+
+	old := make([]byte, BlockSize)
+	for i := range old {
+		old[i] = 0xAA
+	}
+	sys.Dev.RawWrite(base, old)
+
+	// Buffer all four lines of the block with new content.
+	for l := 0; l < BlockSize/LineSize; l++ {
+		var line [LineSize]byte
+		for i := range line {
+			line[i] = byte(0xB0 + l)
+		}
+		sys.XPB.WriteLine(clk, base+uint64(l)*LineSize, &line)
+	}
+
+	plan := &FaultPlan{Event: FaultStore, N: 1, Torn: true, Seed: 7}
+	sys.SetFaults(plan)
+	sys2 := sys.Crash()
+
+	got := make([]byte, BlockSize)
+	sys2.Dev.RawRead(base, got)
+	dropped := 0
+	for l := 0; l < BlockSize/LineSize; l++ {
+		seg := got[l*LineSize : (l+1)*LineSize]
+		switch {
+		case bytes.Equal(seg, old[:LineSize]):
+			dropped++
+		case seg[0] == byte(0xB0+l):
+			// intact new line; verify wholly new
+			for i := 1; i < LineSize; i++ {
+				if seg[i] != byte(0xB0+l) {
+					t.Fatalf("line %d mixed old/new bytes — tearing is not line-atomic", l)
+				}
+			}
+		default:
+			t.Fatalf("line %d is neither old nor new: %x", l, seg[:8])
+		}
+	}
+	if dropped == 0 {
+		t.Error("torn injection dropped no lines")
+	}
+	if dropped == BlockSize/LineSize+1 {
+		t.Error("unreachable") // placate exhaustiveness readers
+	}
+}
+
+// TestCorruptionFlipsOneByteInRange: corruption injection flips exactly one
+// byte, inside the configured range.
+func TestCorruptionFlipsOneByteInRange(t *testing.T) {
+	sys := NewSystem(Config{Mode: ADR, DeviceBytes: 1 << 20})
+	img := make([]byte, 4096)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	sys.Dev.RawWrite(0, img)
+
+	plan := &FaultPlan{Event: FaultStore, N: 1, Corrupt: true, CorruptLo: 1024, CorruptHi: 2048, Seed: 11}
+	sys.SetFaults(plan)
+	sys2 := sys.Crash()
+
+	got := make([]byte, 4096)
+	sys2.Dev.RawRead(0, got)
+	diffs := 0
+	for i := range img {
+		if got[i] != img[i] {
+			diffs++
+			if i < 1024 || i >= 2048 {
+				t.Errorf("corruption outside [1024,2048): offset %d", i)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("corruption flipped %d bytes, want exactly 1", diffs)
+	}
+}

@@ -49,11 +49,12 @@ func (c Config) withDefaults() Config {
 // one simulated machine. Crash produces the successor System that a restarted
 // process would see.
 type System struct {
-	cfg   Config
-	Dev   *Device
-	XPB   *XPBuffer
-	Cache *Cache
-	Space *NVMSpace
+	cfg    Config
+	Dev    *Device
+	XPB    *XPBuffer
+	Cache  *Cache
+	Space  *NVMSpace
+	faults *FaultPlan
 }
 
 // NewSystem builds a simulated machine from cfg.
@@ -75,12 +76,46 @@ func (s *System) Config() Config { return s.cfg }
 // Cost returns the latency model in effect.
 func (s *System) Cost() sim.CostModel { return s.cfg.Cost }
 
+// SetFaults arms a crash-injection plan on the system's cache and XPBuffer
+// (test harnesses only; see FaultPlan for the single-goroutine contract).
+// Pass nil to disarm.
+func (s *System) SetFaults(p *FaultPlan) {
+	s.faults = p
+	s.Cache.faults = p
+	s.XPB.faults = p
+}
+
+// Faults returns the armed plan, or nil.
+func (s *System) Faults() *FaultPlan { return s.faults }
+
 // Crash simulates a power failure: the persistence-domain flush runs
 // according to the mode, and a fresh System (cold cache, empty XPBuffer) is
 // returned over the same durable device image. The old System must not be
 // used afterwards.
+//
+// The persistence domain spans the cache (eADR only) AND the memory
+// controller's XPBuffer (both modes — the WPQ drain is what ADR itself
+// guarantees), so the crash sequence is: line sweep per mode, then buffer
+// drain. With an armed fault plan, torn-write injection runs between those
+// two steps (a block write interrupted mid-drain) and byte corruption runs
+// after (damage to the durable image itself); the successor system starts
+// with no plan armed.
 func (s *System) Crash() *System {
-	s.Cache.CrashFlush()
+	if s.faults == nil {
+		s.Cache.CrashFlush()
+		return newSystemOn(s.cfg, s.Dev)
+	}
+	p := s.faults
+	p.disarm() // crash-flush traffic must not re-trip the plan
+	clk := sim.NewClock()
+	s.Cache.crashWriteback(clk)
+	if p.Torn {
+		s.XPB.tearOne(p)
+	}
+	s.XPB.Drain(clk)
+	if p.Corrupt {
+		p.corruptDevice(s.Dev)
+	}
 	return newSystemOn(s.cfg, s.Dev)
 }
 

@@ -16,6 +16,10 @@ type XPBuffer struct {
 	dev   *Device
 	cost  sim.CostModel
 	banks []xpBank
+	// faults, when non-nil, counts slot evictions for crash injection (see
+	// FaultPlan). The buffer only notes events — it always runs under a bank
+	// lock, so the panic fires later at a lock-free point in the cache.
+	faults *FaultPlan
 }
 
 type xpSlot struct {
@@ -147,6 +151,9 @@ func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, sh *StatShard, bank *xpBank, 
 	if !s.used {
 		return
 	}
+	if b.faults != nil {
+		b.faults.note(FaultDrain) // under the bank lock: note only
+	}
 	full := s.mask == (1<<LinesPerBlock)-1
 	if full {
 		b.dev.writeBlock(s.blockAddr, s.data[:])
@@ -183,6 +190,46 @@ func (b *XPBuffer) Drain(clk *sim.Clock) {
 			b.evictSlotLocked(clk, sh, bank, bank.tail)
 		}
 		bank.mu.unlock()
+	}
+}
+
+// tearOne simulates a torn 256 B media write at crash time: one buffered
+// block loses a pseudo-random nonempty subset of its valid lines before the
+// crash drain. The lost lines keep their previous durable content on the
+// media — line-granular tearing, the failure mode of a block write
+// interrupted mid-transfer. Candidate selection is deterministic (banks and
+// slots in index order) so a seed reproduces the same tear.
+func (b *XPBuffer) tearOne(p *FaultPlan) {
+	type cand struct {
+		bank *xpBank
+		si   int
+	}
+	var cands []cand
+	for i := range b.banks {
+		bank := &b.banks[i]
+		for si := range bank.slots {
+			if bank.slots[si].used {
+				cands = append(cands, cand{bank, si})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	state := p.Seed ^ 0x7ea4
+	c := cands[rng(&state)%uint64(len(cands))]
+	s := &c.bank.slots[c.si]
+	drop := uint8(rng(&state)) & s.mask
+	if drop == 0 {
+		drop = s.mask & (^s.mask + 1) // lowest valid line
+	}
+	s.mask &^= drop
+	if s.mask == 0 {
+		delete(c.bank.index, s.blockAddr)
+		c.bank.unlink(c.si)
+		s.used = false
+		s.next = c.bank.free
+		c.bank.free = c.si
 	}
 }
 

@@ -20,13 +20,18 @@ package wal
 
 import (
 	"encoding/binary"
-	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 )
+
+// DisableChecksumVerify turns off CRC verification in ReadRecords. It exists
+// only so tests can demonstrate what a checksum-less build mis-replays; it
+// must never be set outside a test.
+var DisableChecksumVerify bool
 
 // Transaction-slot states (durable header word).
 const (
@@ -58,6 +63,7 @@ const (
 	hdrNops    = 16 // u32
 	hdrLen     = 20 // u32: payload bytes used in the slot
 	hdrExtLen  = 24 // u32: payload bytes continued in the overflow region
+	hdrCRC     = 28 // u32: CRC32 (IEEE) over tid, payload, and the count words
 	hdrBytes   = 64
 	opHdrBytes = 1 + 1 + 2 + 8 + 8 + 4 + 4 // type, table, pad, slot, key, off, len
 )
@@ -156,11 +162,15 @@ func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
 		w.stats.Wraps++ // reclaiming a previously used slot: the window cycled
 	}
 	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
-	var hdr [24]byte
+	var hdr [32]byte
 	binary.LittleEndian.PutUint64(hdr[hdrState:], StateUncommitted)
 	binary.LittleEndian.PutUint64(hdr[hdrTID:], tid)
-	// nops/len cleared; written at commit.
+	// nops/len/extlen/crc cleared; written at commit.
 	w.space.Write(clk, w.slotOff(i), hdr[:])
+	// The record checksum is maintained incrementally host-side (it is
+	// engine bookkeeping, not a simulated memory access): seeded over the
+	// TID, extended by every appended byte, finalized over the count words.
+	l.crc = crc32.Update(0, crc32.IEEETable, hdr[hdrTID:hdrTID+8])
 	return l
 }
 
@@ -171,7 +181,8 @@ type TxnLog struct {
 	pos    int // next write offset within the slot region
 	extPos int // bytes used in the overflow region
 	nops   int
-	full   bool // ran out of overflow space; ops beyond this are lost
+	full   bool   // ran out of overflow space; ops beyond this are lost
+	crc    uint32 // running record checksum (host-side, published at commit)
 }
 
 // Overflowed reports whether the record spilled past the slot into the
@@ -220,6 +231,7 @@ func (l *TxnLog) append(clk *sim.Clock, b []byte) int {
 		l.w.space.Write(clk, l.w.ovfOff(l.slot)+uint64(l.extPos), src)
 		l.extPos += rem
 	}
+	l.crc = crc32.Update(l.crc, crc32.IEEETable, b)
 	return logical
 }
 
@@ -277,10 +289,15 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 		l.w.stats.Overflows++
 		l.w.stats.OverflowBytes += uint64(l.extPos)
 	}
-	var cnt [12]byte
+	// Counts and checksum share the header cache line and publish in one
+	// store: nops, slot length, overflow length, then the CRC finalized over
+	// those three words — so a torn or flipped count word is caught by the
+	// same checksum that protects the payload.
+	var cnt [16]byte
 	binary.LittleEndian.PutUint32(cnt[0:], uint32(l.nops))
 	binary.LittleEndian.PutUint32(cnt[4:], uint32(l.pos-hdrBytes))
 	binary.LittleEndian.PutUint32(cnt[8:], uint32(l.extPos))
+	binary.LittleEndian.PutUint32(cnt[12:], crc32.Update(l.crc, crc32.IEEETable, cnt[0:12]))
 	l.w.space.Write(clk, base+hdrNops, cnt[:])
 
 	var st [8]byte
@@ -338,15 +355,19 @@ type Record struct {
 	Ops   []Op
 }
 
-// recordReader reads record bytes across the slot/overflow split.
+// recordReader reads record bytes across the slot/overflow split. When crc
+// is non-nil every byte read streams through the running checksum — record
+// verification costs no simulated reads beyond the parse itself.
 type recordReader struct {
 	space   pmem.Space
 	slotOff uint64 // data begins at slotOff+hdrBytes
 	ovfOff  uint64
 	slotCap int // payload bytes that fit in the slot region
+	crc     *uint32
 }
 
 func (r recordReader) read(clk *sim.Clock, pos int, dst []byte) {
+	full := dst
 	n := len(dst)
 	if pos < r.slotCap {
 		k := r.slotCap - pos
@@ -361,12 +382,26 @@ func (r recordReader) read(clk *sim.Clock, pos int, dst []byte) {
 	if n > 0 {
 		r.space.Read(clk, r.ovfOff+uint64(pos-r.slotCap), dst)
 	}
+	if r.crc != nil {
+		*r.crc = crc32.Update(*r.crc, crc32.IEEETable, full)
+	}
 }
 
 func (r recordReader) readOp(clk *sim.Clock, pos int) (Op, int) {
+	op, pos, _ := r.readOpBounded(clk, pos, 1<<31-1)
+	return op, pos
+}
+
+// readOpBounded parses one op, refusing (ok=false) any header or payload
+// that would extend past limit — the defence that keeps a torn or corrupt
+// record from driving a huge allocation or an out-of-range read.
+func (r recordReader) readOpBounded(clk *sim.Clock, pos, limit int) (op Op, next int, ok bool) {
+	if pos+opHdrBytes > limit {
+		return Op{}, pos, false
+	}
 	var hdr [opHdrBytes]byte
 	r.read(clk, pos, hdr[:])
-	op := Op{
+	op = Op{
 		Type:  hdr[0],
 		Table: hdr[1],
 		Slot:  binary.LittleEndian.Uint64(hdr[4:]),
@@ -376,47 +411,101 @@ func (r recordReader) readOp(clk *sim.Clock, pos int) (Op, int) {
 	dataLen := int(binary.LittleEndian.Uint32(hdr[24:]))
 	pos += opHdrBytes
 	if dataLen > 0 {
+		if pos+dataLen > limit {
+			return Op{}, pos, false
+		}
 		op.Data = make([]byte, dataLen)
 		r.read(clk, pos, op.Data)
 		pos += dataLen
 	}
-	return op, pos
+	return op, pos, true
+}
+
+// ScanReport classifies what a window scan saw. Torn and corrupt records are
+// skipped (treated as uncommitted — the transaction's durable point was
+// never reached intact), never replayed and never fatal: recovery proceeds
+// on the surviving prefix and reports the damage.
+type ScanReport struct {
+	// Committed counts well-formed committed records returned for replay.
+	Committed int
+	// Torn counts committed-state slots whose structure is inconsistent
+	// (lengths out of range, ops past the record end) — the signature of a
+	// record that lost lines to a torn write or an unflushed cache.
+	Torn int
+	// Corrupt counts structurally valid records whose CRC32 failed — bit
+	// damage the structure checks cannot see.
+	Corrupt int
+}
+
+// Add sums o into r (aggregation across windows).
+func (r *ScanReport) Add(o ScanReport) {
+	r.Committed += o.Committed
+	r.Torn += o.Torn
+	r.Corrupt += o.Corrupt
 }
 
 // ReadRecords scans one thread's window (post-crash image) and returns the
-// committed records. Uncommitted and free slots are skipped — those
-// transactions never touched any tuple (Algorithm 1 orders the state write
-// before any in-place update).
-func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]Record, error) {
+// committed records plus a classification of what it skipped. Uncommitted
+// and free slots are skipped silently — those transactions never touched any
+// tuple (Algorithm 1 orders the state write before any in-place update).
+// Committed slots are validated structurally and against their CRC before
+// being returned; failures are classified in the report, never returned as
+// records and never as an error — a damaged tail must not block recovery of
+// the records that did survive.
+func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]Record, ScanReport) {
 	cfg = cfg.withDefaults()
 	w := &Window{space: space, base: base, cfg: cfg}
 	var out []Record
+	var rep ScanReport
+	slotCap := cfg.SlotBytes - hdrBytes
 	for i := 0; i < cfg.Slots; i++ {
-		var hdr [28]byte
+		var hdr [32]byte
 		space.Read(clk, w.slotOff(i), hdr[:])
 		state := binary.LittleEndian.Uint64(hdr[hdrState:])
 		if state != StateCommitted {
 			continue
 		}
-		rec := Record{
-			TID:   binary.LittleEndian.Uint64(hdr[hdrTID:]),
-			State: state,
-		}
+		tid := binary.LittleEndian.Uint64(hdr[hdrTID:])
 		nops := int(binary.LittleEndian.Uint32(hdr[hdrNops:]))
-		total := int(binary.LittleEndian.Uint32(hdr[hdrLen:])) + int(binary.LittleEndian.Uint32(hdr[hdrExtLen:]))
-		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: cfg.SlotBytes - hdrBytes}
-		pos := 0
+		slotLen := int(binary.LittleEndian.Uint32(hdr[hdrLen:]))
+		extLen := int(binary.LittleEndian.Uint32(hdr[hdrExtLen:]))
+		if slotLen < 0 || slotLen > slotCap || extLen < 0 || extLen > cfg.OverflowBytes ||
+			nops < 0 || nops > (slotLen+extLen)/opHdrBytes {
+			rep.Torn++
+			continue
+		}
+		total := slotLen + extLen
+		crc := crc32.Update(0, crc32.IEEETable, hdr[hdrTID:hdrTID+8])
+		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: slotCap, crc: &crc}
+		rec := Record{TID: tid, State: state}
+		pos, torn := 0, false
 		for k := 0; k < nops; k++ {
-			if pos+opHdrBytes > total {
-				return nil, fmt.Errorf("wal: corrupt record tid=%d: op %d beyond length %d", rec.TID, k, total)
-			}
 			var op Op
-			op, pos = r.readOp(clk, pos)
+			var ok bool
+			op, pos, ok = r.readOpBounded(clk, pos, total)
+			if !ok {
+				torn = true
+				break
+			}
 			rec.Ops = append(rec.Ops, op)
 		}
+		if torn || pos != total {
+			rep.Torn++
+			continue
+		}
+		var cnt [12]byte
+		binary.LittleEndian.PutUint32(cnt[0:], uint32(nops))
+		binary.LittleEndian.PutUint32(cnt[4:], uint32(slotLen))
+		binary.LittleEndian.PutUint32(cnt[8:], uint32(extLen))
+		crc = crc32.Update(crc, crc32.IEEETable, cnt[:])
+		if !DisableChecksumVerify && crc != binary.LittleEndian.Uint32(hdr[hdrCRC:]) {
+			rep.Corrupt++
+			continue
+		}
+		rep.Committed++
 		out = append(out, rec)
 	}
-	return out, nil
+	return out, rep
 }
 
 // Reset reformats the window's slot states to FREE through the cache
