@@ -1,6 +1,6 @@
 # Convenience targets; everything also works with plain go commands.
 
-.PHONY: build test race bench bench-quick sweep
+.PHONY: build test race bench bench-quick sweep phase-tables trace-check
 
 build:
 	go build ./...
@@ -24,3 +24,14 @@ bench-quick:
 
 sweep:
 	go run ./cmd/falcon-sweep
+
+# Regenerate the phase-share tables in EXPERIMENTS.md from a fresh Figure-11
+# sweep (the marker-delimited generated section; hand-written text survives).
+phase-tables:
+	go run ./cmd/falcon-sweep -md EXPERIMENTS.md
+
+# Produce a tiny trace and validate it against the Chrome trace-event schema
+# (same lane CI runs).
+trace-check:
+	go run ./cmd/falcon-ycsb -threads 2 -records 2000 -txns 50 -warmup 10 -workloads A -trace /tmp/falcon-trace.json
+	go run ./cmd/falcon-tracecheck /tmp/falcon-trace.json

@@ -61,6 +61,8 @@ func main() {
 	label := flag.String("label", "", "label for this run (default: hostbench-<date>)")
 	quick := flag.Bool("quick", false, "skip the full Figure-11 grid (CI-friendly, ~10s)")
 	par := flag.Int("par", 0, "concurrent grid cells (0 = GOMAXPROCS)")
+	var tf bench.TraceFlag
+	tf.Register()
 	flag.Parse()
 
 	r := Run{
@@ -106,6 +108,38 @@ func main() {
 	base.Runs = append(base.Runs, r)
 	save(*out, base)
 	fmt.Println("appended run to", *out)
+
+	// Tracing is never armed during the timed loops above — it would taint
+	// the baseline. With -trace, one extra untimed cell runs traced instead.
+	if tf.Enabled() {
+		tracedCell(&tf)
+		if err := tf.Write(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// tracedCell runs the same YCSB cell shape as ycsbCell with the tracer armed,
+// outside any timed section.
+func tracedCell(tf *bench.TraceFlag) {
+	const workers, txns, warmup = 8, 600, 150
+	cfg := core.FalconConfig()
+	cfg.Threads = workers
+	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
+	if err == nil {
+		var res *bench.Result
+		res, err = bench.Run(e, "YCSB-A",
+			bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup, Trace: tf.Options()},
+			func(w int) (int, error) { return 0, d.Next(w) })
+		if err == nil {
+			tf.Collect("Falcon/YCSB-A Zipfian/8 (extra traced cell)", res.Trace)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traced cell:", err)
+		os.Exit(1)
+	}
 }
 
 func load(path string) Baseline {

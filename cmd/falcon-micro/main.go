@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"falcon/internal/bench"
 	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
@@ -21,26 +23,36 @@ func main() {
 	writes := flag.Int("writes", 1_000_000, "number of random writes per configuration")
 	region := flag.Uint64("region", 512<<20, "target region size in bytes")
 	stats := flag.Bool("stats", false, "print an observability snapshot per configuration")
+	var tf bench.TraceFlag
+	tf.Register()
 	flag.Parse()
 
 	fmt.Println("Figure 3: bandwidth for data stores w/wo clwbs (eADR)")
 	fmt.Printf("%-8s %-18s %-18s\n", "size", "store+sfence", "store+clwb+sfence")
 	for _, size := range []int{256, 128, 64} {
-		plain, psnap := run(*writes, size, *region, false)
-		hinted, hsnap := run(*writes, size, *region, true)
+		plain, psnap, pdump := run(*writes, size, *region, false, tf.Options())
+		hinted, hsnap, hdump := run(*writes, size, *region, true, tf.Options())
+		tf.Collect(fmt.Sprintf("%dB/store+sfence", size), pdump)
+		tf.Collect(fmt.Sprintf("%dB/store+clwb+sfence", size), hdump)
 		fmt.Printf("%-8d %-18s %-18s\n", size, fmtBW(plain), fmtBW(hinted))
 		if *stats {
 			fmt.Printf("--- stats: size=%d store+sfence ---\n%s", size, psnap.Text())
 			fmt.Printf("--- stats: size=%d store+clwb+sfence ---\n%s", size, hsnap.Text())
 		}
 	}
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // run measures one configuration and returns bytes/virtual-second plus the
 // observability snapshot of the run. The tool has no engine, so it registers
 // its own bare phase set over the store loop: stores are heap-write time,
-// sfence/clwb are flush time.
-func run(writes, size int, region uint64, clwb bool) (float64, obs.Snapshot) {
+// sfence/clwb are flush time. With topt set it also arms a single-worker
+// tracer: phase segments and XPBuffer evictions land in the ring (the ring
+// keeps the tail of the run; there are no transactions here, so no sampling).
+func run(writes, size int, region uint64, clwb bool, topt *obs.TraceOptions) (float64, obs.Snapshot, *obs.TraceDump) {
 	sys := pmem.NewSystem(pmem.Config{
 		Mode:        pmem.EADR,
 		DeviceBytes: region,
@@ -56,6 +68,12 @@ func run(writes, size int, region uint64, clwb bool) (float64, obs.Snapshot) {
 	}
 	var pt obs.PhaseTimer
 	pt.Start(&ps, clk)
+	var tr *obs.Tracer
+	if topt != nil {
+		tr = obs.NewTracer(1, *topt)
+		pt.AttachTrace(tr.Worker(0)) // after Start: Start clears the trace hook
+		sys.SetTrace(tr.PmemTrace)
+	}
 	pt.To(obs.PhaseHeapWrite)
 	// xorshift for the random aligned addresses (the paper's setup).
 	state := uint64(0x9E3779B97F4A7C15)
@@ -79,7 +97,11 @@ func run(writes, size int, region uint64, clwb bool) (float64, obs.Snapshot) {
 	sys.Cache.FlushAll(clk)
 	pt.Finish()
 	total := float64(writes) * float64(size)
-	return total / (float64(clk.Nanos()) / 1e9), reg.Snapshot()
+	var dump *obs.TraceDump
+	if tr != nil {
+		dump = tr.Dump()
+	}
+	return total / (float64(clk.Nanos()) / 1e9), reg.Snapshot(), dump
 }
 
 func fmtBW(bps float64) string {

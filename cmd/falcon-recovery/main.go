@@ -31,10 +31,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "first crash seed (seeds run seed..seed+faults-1)")
 	preset := flag.String("preset", "", "restrict the crash matrix to one engine preset by name")
 	mode := flag.String("mode", "", "restrict the crash matrix to one persistence mode: eadr or adr")
+	traceDir := flag.String("trace-dir", "", "with -faults: write each failing seed's pre-crash Chrome trace into this directory")
+	tf.Register()
 	flag.Parse()
 
 	if *faults > 0 {
-		os.Exit(runCrashMatrix(*faults, *seed, *preset, *mode))
+		os.Exit(runCrashMatrix(*faults, *seed, *preset, *mode, *traceDir))
 	}
 
 	recordCounts := []uint64{20_000, 50_000, 100_000, 200_000}
@@ -51,7 +53,8 @@ func main() {
 		ecfg.Threads = *threads
 		fmt.Printf("%-24s", ecfg.Name)
 		for _, records := range recordCounts {
-			_, rep, err := crashRecover(ecfg, records, *threads, *txns)
+			_, rep, err := crashRecover(ecfg, records, *threads, *txns,
+				fmt.Sprintf("%s/%dk (pre-crash)", ecfg.Name, records/1000))
 			if err != nil {
 				fmt.Printf("%12s", "ERR")
 				fmt.Fprintln(os.Stderr, ecfg.Name, records, err)
@@ -65,7 +68,8 @@ func main() {
 	fmt.Println("Breakdown for the largest configuration:")
 	for _, ecfg := range engines {
 		ecfg.Threads = *threads
-		e2, rep, err := crashRecover(ecfg, recordCounts[len(recordCounts)-1], *threads, *txns)
+		e2, rep, err := crashRecover(ecfg, recordCounts[len(recordCounts)-1], *threads, *txns,
+			fmt.Sprintf("%s/breakdown (pre-crash)", ecfg.Name))
 		if err != nil {
 			continue
 		}
@@ -76,11 +80,19 @@ func main() {
 			fmt.Println(e2.ObsSnapshot().Text())
 		}
 	}
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
+
+// tf carries the shared -trace flags; in the recovery study it captures the
+// pre-crash workload of each cell (the crash matrix uses -trace-dir instead).
+var tf bench.TraceFlag
 
 // runCrashMatrix runs the seeded crash-consistency matrix and returns the
 // process exit code (1 if any cell had an oracle violation).
-func runCrashMatrix(faults int, firstSeed uint64, preset, mode string) int {
+func runCrashMatrix(faults int, firstSeed uint64, preset, mode, traceDir string) int {
 	var cells []crashtest.Cell
 	for _, c := range crashtest.Matrix() {
 		if preset != "" && !strings.EqualFold(c.Config.Name, preset) {
@@ -103,7 +115,7 @@ func runCrashMatrix(faults int, firstSeed uint64, preset, mode string) int {
 
 	exit := 0
 	for _, cell := range cells {
-		res := crashtest.RunCell(cell, crashtest.Options{Seeds: faults, FirstSeed: firstSeed})
+		res := crashtest.RunCell(cell, crashtest.Options{Seeds: faults, FirstSeed: firstSeed, TraceDir: traceDir})
 		oracle := "contain"
 		if res.Strict {
 			oracle = "strict"
@@ -118,20 +130,25 @@ func runCrashMatrix(faults int, firstSeed uint64, preset, mode string) int {
 			res.Crashes, res.Torn, res.Corrupt, res.DetectedTorn, res.DetectedCorrupt, verdict)
 		for _, v := range res.Violations {
 			fmt.Printf("    seed %d: %s\n      repro: %s\n", v.Seed, v.Detail, cell.Repro(v.Seed))
+			if v.TracePath != "" {
+				fmt.Printf("      trace: %s\n", v.TracePath)
+			}
 		}
 	}
 	return exit
 }
 
-func crashRecover(ecfg core.Config, records uint64, threads, txns int) (*core.Engine, *core.RecoveryReport, error) {
+func crashRecover(ecfg core.Config, records uint64, threads, txns int, label string) (*core.Engine, *core.RecoveryReport, error) {
 	e, d, err := bench.NewYCSB(ecfg, ycsb.Config{Records: records, Workload: ycsb.A})
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := bench.Run(e, "pre-crash", bench.Options{Workers: threads, TxnsPerWorker: txns},
-		func(w int) (int, error) { return 0, d.Next(w) }); err != nil {
+	res, err := bench.Run(e, "pre-crash", bench.Options{Workers: threads, TxnsPerWorker: txns, Trace: tf.Options()},
+		func(w int) (int, error) { return 0, d.Next(w) })
+	if err != nil {
 		return nil, nil, err
 	}
+	tf.Collect(label, res.Trace)
 	sys := e.System().Crash()
 	e2, rep, err := core.Recover(sys, ecfg)
 	return e2, rep, err

@@ -23,6 +23,7 @@ import (
 
 	"falcon/internal/bench"
 	"falcon/internal/core"
+	"falcon/internal/obs"
 	"falcon/internal/workload/tpcc"
 	"falcon/internal/workload/ycsb"
 )
@@ -36,19 +37,93 @@ func main() {
 	par := flag.Int("par", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "also write per-cell results (incl. latency histograms) as JSON to this file")
 	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per sweep cell")
+	flag.StringVar(&mdPath, "md", "", "splice generated phase-share tables into this markdown file (e.g. EXPERIMENTS.md)")
+	streamPath := flag.String("stream", "", "stream per-epoch snapshots as JSON lines to this file while cells run")
+	flag.IntVar(&streamEvery, "stream-every", 200, "with -stream: epoch size in transactions per worker")
+	tf.Register()
 	flag.Parse()
+
+	if *streamPath != "" {
+		f, err := os.Create(*streamPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		streamW = bench.NewStreamWriter(f)
+	}
 
 	threads := parseInts(*threadList)
 	if *tupleSize {
 		fig12(threads, *txns, *warmup, *par, *jsonPath)
-		return
+	} else {
+		fig11(threads, *txns, *warmup, *records, *par, *jsonPath)
 	}
-	fig11(threads, *txns, *warmup, *records, *par, *jsonPath)
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // showStats is set by -stats: print each cell's observability snapshot
 // after its table row.
 var showStats bool
+
+// tf carries the shared -trace flags; mdPath/streamW/streamEvery the
+// markdown and streaming exports. All are written once in main before any
+// cell runs.
+var (
+	tf          bench.TraceFlag
+	mdPath      string
+	streamW     *bench.StreamWriter
+	streamEvery int
+)
+
+// cellOptions decorates a cell's bench.Options with the sweep-wide trace and
+// streaming hooks. label is the cell's grid label, used to tag trace tracks
+// and stream lines.
+func cellOptions(label string, opts bench.Options) bench.Options {
+	opts.Trace = tf.Options()
+	if streamW != nil && streamEvery > 0 {
+		opts.EpochTxns = streamEvery
+		opts.OnEpoch = func(epoch int, snap obs.Snapshot) {
+			if err := streamW.Emit(bench.EpochSnapshotLine(label, epoch, snap)); err != nil {
+				fmt.Fprintln(os.Stderr, "stream:", err)
+			}
+		}
+	}
+	return opts
+}
+
+// collectCell routes one finished cell into the trace file and the stream.
+func collectCell(label string, res *bench.Result) {
+	tf.Collect(label, res.Trace)
+	if streamW != nil {
+		if err := streamW.Emit(bench.CellDoneLine(label, res)); err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+		}
+	}
+}
+
+// writeMD splices the phase-share tables derived from the finished grid into
+// the -md target.
+func writeMD(meta []jsonCell) {
+	if mdPath == "" {
+		return
+	}
+	grid := make([]bench.GridCell, 0, len(meta))
+	for _, m := range meta {
+		grid = append(grid, bench.GridCell{
+			Figure: m.Figure, Workload: m.Workload, Engine: m.Engine,
+			Threads: m.Threads, Extra: m.Extra, Result: m.Result,
+		})
+	}
+	if err := bench.SpliceMarkdown(mdPath, "phase-shares", bench.PhaseShareMarkdown(grid)); err != nil {
+		fmt.Fprintln(os.Stderr, "md export:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "phase-share tables spliced into %s\n", mdPath)
+}
 
 func parseInts(s string) []int {
 	var out []int
@@ -90,10 +165,10 @@ func writeJSON(path string, cells []jsonCell) {
 func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath string) {
 	type workload struct {
 		name string
-		run  func(ecfg core.Config, th int) (*bench.Result, error)
+		run  func(ecfg core.Config, th int, label string) (*bench.Result, error)
 	}
 	workloads := []workload{
-		{"TPC-C", func(ecfg core.Config, th int) (*bench.Result, error) {
+		{"TPC-C", func(ecfg core.Config, th int, label string) (*bench.Result, error) {
 			w := th / 2
 			if w < 2 {
 				w = 2
@@ -102,7 +177,8 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 			if err != nil {
 				return nil, err
 			}
-			return bench.Run(e, "TPC-C", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+			return bench.Run(e, "TPC-C",
+				cellOptions(label, bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup}),
 				func(w int) (int, error) { return 0, d.Next(w) })
 		}},
 		{"YCSB-A Uniform", ycsbRunner(records, ycsb.Uniform, txns, warmup)},
@@ -118,12 +194,13 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 		for _, ecfg := range engines {
 			for _, th := range threads {
 				wlRun, eng, t := wl.run, ecfg, th
+				label := fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, th)
 				cells = append(cells, bench.Cell{
-					Label: fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, th),
+					Label: label,
 					Run: func() (*bench.Result, error) {
 						cfg := eng
 						cfg.Threads = t
-						return wlRun(cfg, t)
+						return wlRun(cfg, t, label)
 					},
 				})
 				meta = append(meta, jsonCell{Figure: "11", Workload: wl.name, Engine: ecfg.Name, Threads: th})
@@ -136,9 +213,11 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 			meta[i].Err = results[i].Err.Error()
 		} else {
 			meta[i].Result = results[i].Res
+			collectCell(cells[i].Label, results[i].Res)
 		}
 	}
 	writeJSON(jsonPath, meta)
+	writeMD(meta)
 
 	i := 0
 	for _, wl := range workloads {
@@ -174,13 +253,14 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 	}
 }
 
-func ycsbRunner(records uint64, dist ycsb.Distribution, txns, warmup int) func(core.Config, int) (*bench.Result, error) {
-	return func(ecfg core.Config, th int) (*bench.Result, error) {
+func ycsbRunner(records uint64, dist ycsb.Distribution, txns, warmup int) func(core.Config, int, string) (*bench.Result, error) {
+	return func(ecfg core.Config, th int, label string) (*bench.Result, error) {
 		e, d, err := bench.NewYCSB(ecfg, ycsb.Config{Records: records, Workload: ycsb.A, Distribution: dist})
 		if err != nil {
 			return nil, err
 		}
-		return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+		return bench.Run(e, "YCSB-A",
+			cellOptions(label, bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup}),
 			func(w int) (int, error) { return 0, d.Next(w) })
 	}
 }
@@ -201,12 +281,13 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 		for _, ecfg := range engines {
 			for _, sz := range sizes {
 				eng, t, s := ecfg, th, sz
+				label := fmt.Sprintf("%s-%d/%s", eng.Name, t, fmtSize(s))
 				cells = append(cells, bench.Cell{
-					Label: fmt.Sprintf("%s-%d/%s", eng.Name, t, fmtSize(s)),
+					Label: label,
 					Run: func() (*bench.Result, error) {
 						cfg := eng
 						cfg.Threads = t
-						return runTupleSize(cfg, t, s, txns, warmup)
+						return runTupleSize(cfg, t, s, txns, warmup, label)
 					},
 				})
 				meta = append(meta, jsonCell{Figure: "12", Workload: "YCSB-A Uniform",
@@ -220,9 +301,11 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 			meta[i].Err = results[i].Err.Error()
 		} else {
 			meta[i].Result = results[i].Res
+			collectCell(cells[i].Label, results[i].Res)
 		}
 	}
 	writeJSON(jsonPath, meta)
+	writeMD(meta)
 
 	fmt.Println("Figure 12: YCSB-A Uniform throughput (KTxn/s) by tuple size")
 	fmt.Printf("%-20s", "engine-threads")
@@ -257,7 +340,7 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 	}
 }
 
-func runTupleSize(ecfg core.Config, th, size, txns, warmup int) (*bench.Result, error) {
+func runTupleSize(ecfg core.Config, th, size, txns, warmup int, label string) (*bench.Result, error) {
 	fields := 8
 	fieldBytes := (size - 8) / fields
 	if fieldBytes < 8 {
@@ -284,7 +367,8 @@ func runTupleSize(ecfg core.Config, th, size, txns, warmup int) (*bench.Result, 
 	if err != nil {
 		return nil, err
 	}
-	return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: t, WarmupPerWorker: warmup / 2},
+	return bench.Run(e, "YCSB-A",
+		cellOptions(label, bench.Options{Workers: th, TxnsPerWorker: t, WarmupPerWorker: warmup / 2}),
 		func(w int) (int, error) { return 0, d.Next(w) })
 }
 

@@ -24,6 +24,7 @@ func main() {
 	latency := flag.Bool("latency", false, "run Figure 8 (latency, OCC) instead of Figure 7")
 	algos := flag.String("cc", "", "comma-free CC filter, e.g. OCC (default: all six)")
 	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per engine × CC cell")
+	tf.Register()
 	flag.Parse()
 
 	if *warehouses == 0 {
@@ -33,10 +34,12 @@ func main() {
 		}
 	}
 	wcfg := tpcc.Config{Warehouses: *warehouses, Items: *items, CustomersPerDistrict: *customers}
-	opts := bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup, Classes: 5}
+	opts := bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup,
+		Classes: 5, Trace: tf.Options()}
 
 	if *latency {
 		fig8(wcfg, opts)
+		traceDone()
 		return
 	}
 
@@ -70,6 +73,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, ecfg.Name, a, err)
 				continue
 			}
+			tf.Collect(fmt.Sprintf("%s/%s", ecfg.Name, a), res.Trace)
 			fmt.Printf("%10.3f", res.MTxnPerSec)
 			if showStats {
 				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s ---\n%s",
@@ -81,11 +85,22 @@ func main() {
 			fmt.Print(b)
 		}
 	}
+	traceDone()
 }
 
 // showStats is set by -stats: print each cell's observability snapshot
 // after its table row.
 var showStats bool
+
+// tf carries the shared -trace flags for both figure modes.
+var tf bench.TraceFlag
+
+func traceDone() {
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func runOne(ecfg core.Config, algo cc.Algo, wcfg tpcc.Config, opts bench.Options) (*bench.Result, error) {
 	ecfg.Threads = opts.Workers
@@ -110,6 +125,7 @@ func fig8(wcfg tpcc.Config, opts bench.Options) {
 			fmt.Fprintln(os.Stderr, ecfg.Name, err)
 			continue
 		}
+		tf.Collect(ecfg.Name+"/OCC", res.Trace)
 		no, pay := int(tpcc.TxnNewOrder), int(tpcc.TxnPayment)
 		fmt.Printf("%-24s %12.2f %12.2f %12.2f %12.2f\n", ecfg.Name,
 			us(res.LatAvgNanos[no]), us(res.LatP95Nanos[no]),

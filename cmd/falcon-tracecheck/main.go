@@ -1,0 +1,35 @@
+// falcon-tracecheck validates Chrome trace-event JSON files produced by the
+// -trace flag (or by the crash matrix's -trace-dir): the schema checks that
+// Perfetto / chrome://tracing rely on, without loading a UI. Exit status 0
+// means every file passed.
+//
+//	falcon-tracecheck out.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"falcon/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: falcon-tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateChromeTrace(data)
+		}
+		if err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	os.Exit(exit)
+}

@@ -22,6 +22,8 @@ func main() {
 	warmup := flag.Int("warmup", 300, "warmup transactions per worker")
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
 	stats := flag.Bool("stats", false, "print an observability snapshot per engine × workload cell")
+	var tf bench.TraceFlag
+	tf.Register()
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -57,13 +59,14 @@ func main() {
 				continue
 			}
 			res, err := bench.Run(e, wcfg.Workload.String(),
-				bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup},
+				bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup, Trace: tf.Options()},
 				func(w int) (int, error) { return 0, d.Next(w) })
 			if err != nil {
 				fmt.Printf("%12s", "ERR")
 				fmt.Fprintln(os.Stderr, ecfg.Name, wcfg.Workload, err)
 				continue
 			}
+			tf.Collect(fmt.Sprintf("%s/%s/%s", ecfg.Name, wcfg.Workload, wcfg.Distribution), res.Trace)
 			fmt.Printf("%12.3f", res.MTxnPerSec)
 			if *stats {
 				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s/%s ---\n%s",
@@ -74,5 +77,9 @@ func main() {
 		for _, b := range blocks {
 			fmt.Print(b)
 		}
+	}
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

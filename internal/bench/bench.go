@@ -29,6 +29,18 @@ type Options struct {
 	WarmupPerWorker int
 	// Classes is the number of latency classes (max class + 1); 0 = 1.
 	Classes int
+	// Trace, when non-nil, arms transaction-level trace capture for the
+	// measured phase (warmup is never traced); the dump lands on
+	// Result.Trace.
+	Trace *obs.TraceOptions
+	// EpochTxns, with OnEpoch, splits the measured phase into epochs of
+	// this many transactions per worker: after each epoch the workers
+	// quiesce and OnEpoch receives the cumulative post-warmup snapshot —
+	// the streaming-snapshot hook for watching long sweeps mid-flight.
+	EpochTxns int
+	// OnEpoch is called after each epoch (and is never called when
+	// EpochTxns <= 0). The epoch counter starts at 1.
+	OnEpoch func(epoch int, snap obs.Snapshot)
 }
 
 // Result is one measured configuration.
@@ -66,6 +78,9 @@ type Result struct {
 	// path phase nanos, abort taxonomy, WAL/hot-set gauges, and the pmem
 	// counters diffed against the post-warmup baseline.
 	Obs obs.Snapshot
+	// Trace is the transaction-level trace of the measured phase, present
+	// only when Options.Trace was set.
+	Trace *obs.TraceDump `json:"Trace,omitempty"`
 }
 
 // Run executes the workload on the engine and measures it.
@@ -134,7 +149,29 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 	e.ResetCounters()
 	obs0 := e.ObsSnapshot() // post-warmup baseline (pmem counters et al.)
 
-	if err := runPhase(opts.TxnsPerWorker, true); err != nil {
+	// Arm the tracer only for the measured phase: the workers are quiescent
+	// here, the same window ResetCounters relies on.
+	var tracer *obs.Tracer
+	if opts.Trace != nil {
+		tracer = obs.NewTracer(e.Config().Threads, *opts.Trace)
+		e.SetTracer(tracer)
+	}
+
+	if opts.EpochTxns > 0 && opts.OnEpoch != nil {
+		// Epoch streaming: run the measured phase in chunks; between chunks
+		// the workers have joined, so the registry snapshot is coherent.
+		for done, epoch := 0, 1; done < opts.TxnsPerWorker; epoch++ {
+			chunk := opts.EpochTxns
+			if done+chunk > opts.TxnsPerWorker {
+				chunk = opts.TxnsPerWorker - done
+			}
+			if err := runPhase(chunk, true); err != nil {
+				return nil, err
+			}
+			done += chunk
+			opts.OnEpoch(epoch, e.ObsSnapshot().Sub(obs0))
+		}
+	} else if err := runPhase(opts.TxnsPerWorker, true); err != nil {
 		return nil, err
 	}
 
@@ -158,6 +195,10 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 	}
 	res.LatAvgNanos, res.LatP50Nanos, res.LatP95Nanos, res.LatP99Nanos, res.LatHists =
 		percentiles(hists, opts.Classes)
+	if tracer != nil {
+		res.Trace = tracer.Dump()
+		e.SetTracer(nil)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/obs"
+	"falcon/internal/workload/ycsb"
+)
+
+// TestRunEpochStreaming checks the chunked measured phase: OnEpoch fires on a
+// quiescent engine with cumulative post-warmup snapshots, and the final
+// result matches a monolithic run's accounting.
+func TestRunEpochStreaming(t *testing.T) {
+	ecfg := core.FalconConfig()
+	ecfg.Threads = 2
+	e, d, err := NewYCSB(ecfg, ycsb.Config{Records: 2000, Fields: 4, FieldBytes: 32, Workload: ycsb.A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.Snapshot
+	res, err := Run(e, "YCSB-A", Options{
+		Workers: 2, TxnsPerWorker: 100, WarmupPerWorker: 20,
+		EpochTxns: 30,
+		OnEpoch:   func(epoch int, snap obs.Snapshot) { snaps = append(snaps, snap) },
+	}, func(w int) (int, error) { return 0, d.Next(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 txns in chunks of 30 → epochs of 30, 30, 30, 10.
+	if len(snaps) != 4 {
+		t.Fatalf("epochs = %d, want 4", len(snaps))
+	}
+	var last uint64
+	for i, s := range snaps {
+		total := s.Commits + s.Aborts
+		if total < last {
+			t.Fatalf("epoch %d attempts %d < previous %d (must be cumulative)", i+1, total, last)
+		}
+		last = total
+	}
+	if snaps[3].Commits != res.Obs.Commits {
+		t.Fatalf("final epoch commits %d != result commits %d", snaps[3].Commits, res.Obs.Commits)
+	}
+	if res.Committed+res.Aborted != uint64(2*100) {
+		t.Fatalf("attempts = %d, want 200", res.Committed+res.Aborted)
+	}
+}
+
+func TestStreamWriterLines(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	snap := obs.Snapshot{Commits: 10, Aborts: 2}
+	snap.PhaseNanos[obs.PhaseExec] = 1234
+	if err := sw.Emit(EpochSnapshotLine("cell-a", 1, snap)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Emit(CellDoneLine("cell-a", &Result{MTxnPerSec: 1.5, VirtualNanos: 99, Obs: snap})); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []EpochLine
+	for sc.Scan() {
+		var l EpochLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("line is not valid JSON: %v", err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if lines[0].Cell != "cell-a" || lines[0].Epoch != 1 || lines[0].Commits != 10 {
+		t.Fatalf("epoch line = %+v", lines[0])
+	}
+	if lines[0].PhaseNanos["exec"] != 1234 {
+		t.Fatalf("phase map = %+v", lines[0].PhaseNanos)
+	}
+	if !lines[1].Done || lines[1].MTxnPerSec != 1.5 || lines[1].VirtualNanos != 99 {
+		t.Fatalf("done line = %+v", lines[1])
+	}
+}
+
+// TestRunTraceCapture exercises the bench-level trace arming: the dump covers
+// only the measured phase and exports as valid Chrome trace JSON.
+func TestRunTraceCapture(t *testing.T) {
+	ecfg := core.FalconConfig()
+	ecfg.Threads = 2
+	e, d, err := NewYCSB(ecfg, ycsb.Config{Records: 2000, Fields: 4, FieldBytes: 32, Workload: ycsb.A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, "YCSB-A",
+		Options{Workers: 2, TxnsPerWorker: 50, WarmupPerWorker: 30, Trace: &obs.TraceOptions{Sample: 1}},
+		func(w int) (int, error) { return 0, d.Next(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Options.Trace set but Result.Trace is nil")
+	}
+	var txns int
+	for _, ev := range res.Trace.Events {
+		if ev.Kind == obs.EvTxn {
+			txns++
+		}
+	}
+	// Warmup is untraced: exactly the measured transactions appear.
+	if txns != 2*50 {
+		t.Fatalf("traced txns = %d, want 100 (measured phase only)", txns)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, []obs.NamedDump{{Label: "t", Dump: res.Trace}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("bench trace fails Chrome validation: %v", err)
+	}
+}
+
+func TestPhaseShareMarkdownAndSplice(t *testing.T) {
+	res := &Result{MTxnPerSec: 2.5}
+	res.Obs.PhaseNanos[obs.PhaseExec] = 750
+	res.Obs.PhaseNanos[obs.PhaseFlush] = 250
+	cells := []GridCell{
+		{Figure: "11", Workload: "YCSB-A", Engine: "Falcon", Threads: 4, Result: res},
+		{Figure: "11", Workload: "YCSB-A", Engine: "Inp", Threads: 2, Result: res}, // below max threads: excluded
+		{Figure: "11", Workload: "YCSB-A", Engine: "Broken", Threads: 4, Result: nil},
+	}
+	md := PhaseShareMarkdown(cells)
+	if !strings.Contains(md, "| Falcon | 2.500 | 75.0% |") {
+		t.Fatalf("markdown lacks the Falcon row:\n%s", md)
+	}
+	if strings.Contains(md, "Inp") || strings.Contains(md, "Broken") {
+		t.Fatalf("markdown includes excluded rows:\n%s", md)
+	}
+
+	path := filepath.Join(t.TempDir(), "EXP.md")
+	if err := os.WriteFile(path, []byte("# Doc\n\nhand-written text\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpliceMarkdown(path, "phase-shares", md); err != nil {
+		t.Fatal(err)
+	}
+	// Re-splicing replaces the generated section, not duplicates it.
+	if err := SpliceMarkdown(path, "phase-shares", "replaced-content\n"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	if !strings.Contains(text, "hand-written text") {
+		t.Fatal("splice destroyed hand-written content")
+	}
+	if strings.Contains(text, "Falcon") || !strings.Contains(text, "replaced-content") {
+		t.Fatalf("splice did not replace the generated section:\n%s", text)
+	}
+	if n := strings.Count(text, "generated:phase-shares:begin"); n != 1 {
+		t.Fatalf("marker count = %d, want 1", n)
+	}
+}

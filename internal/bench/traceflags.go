@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"falcon/internal/obs"
+)
+
+// TraceFlag is the shared -trace / -trace-sample wiring used by every cmd
+// tool: Register installs the flags, Options feeds bench.Options.Trace (nil
+// when tracing is off), Collect gathers each cell's dump, and Write renders
+// everything as one Chrome trace-event JSON file (one Perfetto process per
+// cell). Collect is mutex-guarded so parallel sweep runners may call it
+// directly.
+type TraceFlag struct {
+	// Path is the output file (-trace); empty disables tracing.
+	Path string
+	// Sample is the head-sampling rate (-trace-sample): every Nth
+	// transaction's spans are kept. Exemplars are captured regardless.
+	Sample int
+	// Autopsy prints the text autopsy report to stderr after Write
+	// (-trace-autopsy).
+	Autopsy bool
+
+	mu    sync.Mutex
+	dumps []obs.NamedDump
+}
+
+// Register installs -trace, -trace-sample and -trace-autopsy on the default
+// flag set.
+func (f *TraceFlag) Register() {
+	flag.StringVar(&f.Path, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto) of the measured phase")
+	flag.IntVar(&f.Sample, "trace-sample", 1, "trace every Nth transaction (slow/aborted exemplars are always captured)")
+	flag.BoolVar(&f.Autopsy, "trace-autopsy", false, "with -trace: print the slow/abort txn autopsy report to stderr")
+}
+
+// Enabled reports whether -trace was given.
+func (f *TraceFlag) Enabled() bool { return f.Path != "" }
+
+// Options returns the TraceOptions for bench.Options.Trace, or nil when
+// tracing is off.
+func (f *TraceFlag) Options() *obs.TraceOptions {
+	if !f.Enabled() {
+		return nil
+	}
+	return &obs.TraceOptions{Sample: f.Sample}
+}
+
+// Collect stores one labelled dump for the final file. nil dumps are
+// ignored, so callers can pass res.Trace unconditionally.
+func (f *TraceFlag) Collect(label string, d *obs.TraceDump) {
+	if d == nil {
+		return
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, obs.NamedDump{Label: label, Dump: d})
+	f.mu.Unlock()
+}
+
+// Write renders the collected dumps to Path. A no-op when tracing is off;
+// an error when tracing was requested but no dump was collected.
+func (f *TraceFlag) Write() error {
+	if !f.Enabled() {
+		return nil
+	}
+	f.mu.Lock()
+	dumps := f.dumps
+	f.mu.Unlock()
+	if len(dumps) == 0 {
+		return fmt.Errorf("trace: no dumps collected for %s", f.Path)
+	}
+	out, err := os.Create(f.Path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(out, dumps); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	var events int
+	for _, nd := range dumps {
+		events += len(nd.Dump.Events)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s (%d cells, %d events) — open in https://ui.perfetto.dev\n",
+		f.Path, len(dumps), events)
+	if f.Autopsy {
+		for _, nd := range dumps {
+			if rep := obs.AutopsyReport(nd.Dump, 4); rep != "" {
+				fmt.Fprintf(os.Stderr, "══ %s ══\n%s", nd.Label, rep)
+			}
+		}
+	}
+	return nil
+}

@@ -74,6 +74,7 @@ func (tx *Txn) commitInPlace() error {
 		if a.ins != nil {
 			tx.applyInsert(a.ins)
 			markTouched(a.ins.t, a.ins.slot)
+			tx.tstat(a.ins.t).Writes++
 			continue
 		}
 		w := a.w
@@ -85,6 +86,7 @@ func (tx *Txn) commitInPlace() error {
 		case wal.OpDelete:
 			tx.applyDelete(w)
 		}
+		tx.tstat(w.t).Writes++
 	}
 	// Durable writer timestamps, one per touched slot.
 	for t, slots := range touched {
@@ -181,6 +183,8 @@ func (tx *Txn) selectiveFlush(apply []applyEntry) {
 	if policy == FlushNone {
 		return
 	}
+	flushStart := tx.clk.Nanos()
+	var flushed, elided uint64
 	hot := tx.e.hot[tx.worker]
 	for _, a := range apply {
 		var t *Table
@@ -196,11 +200,16 @@ func (tx *Txn) selectiveFlush(apply []applyEntry) {
 		}
 		if policy == FlushSelective {
 			if hot.contains(tx.clk, t.id, slot) {
+				elided++
 				continue // hot tuples are never manually flushed
 			}
 			hot.add(tx.clk, t.id, slot)
 		}
 		t.heap.CLWBSlot(tx.clk, slot, off, n)
+		flushed++
+	}
+	if tx.tr != nil && flushed+elided > 0 {
+		tx.tr.Span(obs.EvFlushTrain, flushStart, tx.clk.Nanos(), flushed, elided)
 	}
 }
 
@@ -229,6 +238,7 @@ func (tx *Txn) publishVersions() {
 		scratch := tx.e.scratchFor(tx.worker, w.t.schema.TupleSize())
 		w.t.heap.ReadPayload(tx.clk, w.slot, scratch)
 		w.t.versions.Publish(tx.clk, tx.worker, w.slot, beginTS, tx.tid, scratch)
+		tx.tstat(w.t).Versions++
 	}
 }
 
@@ -357,6 +367,14 @@ func (tx *Txn) finish(committed bool) {
 		}
 	}
 	tx.pt.Finish()
+	if tx.tr != nil {
+		reason := -1
+		if !committed {
+			reason = int(tx.cause)
+		}
+		tx.tr.TxnEnd(tx.clk.Nanos(), reason)
+		tx.tr = nil
+	}
 	tx.done = true
 }
 
@@ -421,6 +439,7 @@ func (tx *Txn) ScanSecondary(t *Table, from uint64, limit int, fn func(secKey ui
 
 func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn func(uint64, []byte) bool) (int, error) {
 	// A private buffer: fn may issue reads that use the worker scratch.
+	tx.tstat(t).IndexProbes++
 	scratch := make([]byte, t.schema.TupleSize())
 	visited := 0
 	var scanErr error
@@ -447,5 +466,6 @@ func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn f
 // readSlot performs the CC read of an already-resolved slot (scan path).
 func (tx *Txn) readSlot(t *Table, key, slot uint64, dst []byte) error {
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
+	tx.tstat(t).Reads++
 	return tx.readResolved(t, key, slot, 0, t.schema.TupleSize(), dst)
 }

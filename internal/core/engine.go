@@ -61,6 +61,14 @@ type Engine struct {
 	phases       []obs.PhaseSet
 	abortReasons obs.AbortCounts
 	reg          *obs.Registry
+	// tstats holds per-worker × per-table activity counters (single-owner
+	// rows, summed by the "tables" collector at snapshot time).
+	tstats [][]paddedTableStats
+	// tracer/tracerW arm transaction-level trace capture (SetTracer). Both
+	// are nil in the common unarmed case, so the commit path pays only
+	// nil pointer tests.
+	tracer  *obs.Tracer
+	tracerW []*obs.WorkerTracer
 	// recPhases holds the recovery-path phase accounting when this engine
 	// was produced by Recover (nil for freshly created engines).
 	recPhases *obs.PhaseSet
@@ -172,6 +180,7 @@ func (e *Engine) initWorkers() {
 	e.hot = make([]*hotSet, e.cfg.Threads)
 	e.scratch = make([]workerScratch, e.cfg.Threads)
 	e.phases = make([]obs.PhaseSet, e.cfg.Threads)
+	e.tstats = make([][]paddedTableStats, e.cfg.Threads)
 	for i := range e.clocks {
 		// Worker clocks carry the worker id as a shard hint so the pmem
 		// layer can route each worker's event counters to its own shard.
@@ -216,7 +225,70 @@ func (e *Engine) initObs() {
 			e.recPhases.AddTo(&s.PhaseNanos)
 		}
 	})
+	e.reg.Register("tables", func(s *obs.Snapshot) {
+		if len(e.tables) == 0 {
+			return
+		}
+		if s.Tables == nil {
+			s.Tables = make(map[string]obs.TableStats, len(e.tables))
+		}
+		for _, t := range e.tables {
+			agg := s.Tables[t.name]
+			for w := range e.tstats {
+				agg.Add(e.tstats[w][t.id].TableStats)
+			}
+			s.Tables[t.name] = agg
+		}
+	})
 }
+
+// paddedTableStats keeps one worker's counters for one table on a cache
+// line of its own. TableStats is 32 B, so unpadded rows from different
+// workers share lines and the per-op increments turn into cross-core
+// traffic (measured ~40% on the host YCSB cell when this shipped unpadded).
+type paddedTableStats struct {
+	obs.TableStats
+	_ [4]uint64
+}
+
+// addTable registers a fully built table with the engine, growing every
+// worker's per-table counter row (both the create and the recovery path
+// construct tables through here).
+func (e *Engine) addTable(t *Table) {
+	e.tables = append(e.tables, t)
+	e.byName[t.name] = t
+	for w := range e.tstats {
+		e.tstats[w] = append(e.tstats[w], paddedTableStats{})
+	}
+}
+
+// SetTracer arms transaction-level trace capture on the engine: worker w's
+// trace events route to tr.Worker(w), the WAL windows report slot claims,
+// and the pmem system reports XPBuffer evictions. Pass nil to disarm. Must
+// be called while no transactions are in flight (between benchmark phases) —
+// the same quiescence contract as ResetCounters.
+func (e *Engine) SetTracer(tr *obs.Tracer) {
+	e.tracer = tr
+	if tr == nil {
+		e.tracerW = nil
+		for _, w := range e.windows {
+			w.SetTrace(nil)
+		}
+		e.sys.SetTrace(nil)
+		return
+	}
+	e.tracerW = make([]*obs.WorkerTracer, e.cfg.Threads)
+	for i := range e.tracerW {
+		e.tracerW[i] = tr.Worker(i)
+	}
+	for i, w := range e.windows {
+		w.SetTrace(tr.Worker(i))
+	}
+	e.sys.SetTrace(tr.PmemTrace)
+}
+
+// Tracer returns the armed tracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // LogWindowRange returns the NVM address range [base, base+size) holding all
 // threads' log windows — the region fault plans target for corruption
@@ -311,8 +383,7 @@ func (e *Engine) createTable(clk *sim.Clock, spec TableSpec) (*Table, error) {
 		e.ensureTupleCache(spec.Schema.TupleSize())
 	}
 
-	e.tables = append(e.tables, t)
-	e.byName[spec.Name] = t
+	e.addTable(t)
 	return t, nil
 }
 
@@ -409,6 +480,11 @@ func (e *Engine) ResetCounters() {
 	}
 	for _, h := range e.hot {
 		h.stats = obs.HotSetStats{}
+	}
+	for w := range e.tstats {
+		for i := range e.tstats[w] {
+			e.tstats[w][i] = paddedTableStats{}
+		}
 	}
 }
 

@@ -76,6 +76,7 @@ func (tx *Txn) commitOutOfPlace() error {
 	// Phase 1: materialize new versions / durable delete records.
 	tx.pt.To(obs.PhaseHeapWrite)
 	for _, g := range groups {
+		tx.tstat(g.t).Writes++
 		if g.del {
 			// The deleted flag + TID on the old slot is the durable delete
 			// record; linking for recycling waits until after the marker so
@@ -145,6 +146,7 @@ func (tx *Txn) commitOutOfPlace() error {
 	// Inserts: fresh slots, same durability rules.
 	for i := range tx.inserts {
 		ins := &tx.inserts[i]
+		tx.tstat(ins.t).Writes++
 		// Same publish order as above: occupied flag last.
 		ins.t.heap.WritePayload(tx.clk, ins.slot, ins.data)
 		ins.t.heap.WriteTS(tx.clk, ins.slot, tx.tid)
@@ -200,6 +202,7 @@ func (tx *Txn) commitOutOfPlace() error {
 			tx.pt.To(obs.PhaseHeapWrite)
 			g.t.versions.PublishRef(tx.clk, tx.worker, g.newSlot, beginTS, tx.tid, g.oldSlot)
 			tx.pt.To(obs.PhaseIndexUpdate)
+			tx.tstat(g.t).Versions++
 		}
 		g.t.primary.Update(tx.clk, g.key, g.newSlot)
 		if g.t.secondary != nil {

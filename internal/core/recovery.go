@@ -127,8 +127,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		if cfg.TupleCacheBytes > 0 {
 			e.ensureTupleCache(ct.schema.TupleSize())
 		}
-		e.tables = append(e.tables, t)
-		e.byName[ct.name] = t
+		e.addTable(t)
 	}
 	rep.CatalogNanos = clk.Nanos()
 

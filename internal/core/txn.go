@@ -48,6 +48,9 @@ type Txn struct {
 	pt       obs.PhaseTimer
 	cause    obs.AbortReason
 	causeSet bool
+	// tr is this worker's trace sink while the engine's tracer is armed
+	// (nil otherwise — the instrumented sites pay one pointer test).
+	tr *obs.WorkerTracer
 
 	writes     []writeOp
 	inserts    []insertOp
@@ -147,6 +150,11 @@ func (e *Engine) begin(worker int, ro bool) *Txn {
 	// Start the phase timer before charging the begin overhead so the phases
 	// partition every transactional nanosecond (the overhead lands in exec).
 	tx.pt.Start(&e.phases[worker], clk)
+	if e.tracerW != nil {
+		tx.tr = e.tracerW[worker]
+		tx.tr.TxnBegin(tid, clk.Nanos())
+		tx.pt.AttachTrace(tx.tr)
+	}
 	clk.Advance(e.sys.Cost().TxnOverhead)
 	if e.cfg.Update == InPlace && !ro {
 		tx.pt.To(obs.PhaseLogAppend)
@@ -185,8 +193,15 @@ func (tx *Txn) ReadField(t *Table, key uint64, col int, dst []byte) error {
 	return tx.read(t, key, t.schema.Offset(col), t.schema.Column(col).Size, dst)
 }
 
+// tstat returns this worker's counter row for t. Single-owner like the
+// phase sets: only the owning worker writes it.
+func (tx *Txn) tstat(t *Table) *obs.TableStats {
+	return &tx.e.tstats[tx.worker][t.id].TableStats
+}
+
 func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
+	tx.tstat(t).Reads++
 
 	// Read-your-own-insert.
 	if ins := tx.findInsert(t, key); ins != nil {
@@ -209,6 +224,7 @@ func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
 // was repointed during recovery, so a surviving dead-slot entry can only
 // belong to a key with no live version.)
 func (tx *Txn) resolve(t *Table, key uint64) (uint64, bool) {
+	tx.tstat(t).IndexProbes++
 	slot, ok := t.primary.Get(tx.clk, key)
 	if !ok {
 		return 0, false
@@ -343,6 +359,21 @@ func (tx *Txn) readPayload(t *Table, key uint64, slot uint64, off, n int, dst []
 // finish (its chain only covers older intervals), so the loop spins briefly
 // in that case — writers hold tuples only across the short apply phase.
 func (tx *Txn) snapshotReadSlot(t *Table, slot uint64, off, n int, dst []byte) error {
+	if tx.tr == nil {
+		return tx.snapshotReadSlotSpin(t, slot, off, n, dst, nil)
+	}
+	// Traced: if the read had to spin behind a mid-apply writer, record the
+	// stall as a lock-wait span (start approximates the first probe).
+	var spins uint64
+	start := tx.clk.Nanos()
+	err := tx.snapshotReadSlotSpin(t, slot, off, n, dst, &spins)
+	if spins > 0 {
+		tx.tr.Span(obs.EvLockWait, start, tx.clk.Nanos(), slot, spins)
+	}
+	return err
+}
+
+func (tx *Txn) snapshotReadSlotSpin(t *Table, slot uint64, off, n int, dst []byte, spins *uint64) error {
 	lock, _ := t.heap.Meta(slot)
 	for {
 		word := lock.Load()
@@ -387,6 +418,9 @@ func (tx *Txn) snapshotReadSlot(t *Table, slot uint64, off, n int, dst []byte) e
 		}
 		// A writer newer than every chained version but older than our
 		// snapshot is mid-apply; wait for it.
+		if spins != nil {
+			*spins++
+		}
 		runtime.Gosched()
 	}
 }

@@ -4,11 +4,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"falcon/internal/bench"
 	"falcon/internal/core"
 	"falcon/internal/index"
+	"falcon/internal/obs"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 )
@@ -77,6 +81,11 @@ type Options struct {
 	FirstSeed uint64
 	// WorkloadSeed varies the transaction stream (default 1).
 	WorkloadSeed uint64
+	// TraceDir, when set, arms an unsampled tracer on every seed's engine
+	// and, for seeds that violate their oracle, writes the pre-crash Chrome
+	// trace there — the transaction history leading into the failing crash,
+	// next to the one-line repro.
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +105,9 @@ func (o Options) withDefaults() Options {
 type Violation struct {
 	Seed   uint64
 	Detail string
+	// TracePath is the pre-crash trace dump for this seed, present only when
+	// Options.TraceDir was set and the dump was written.
+	TracePath string
 }
 
 // CellResult summarizes one cell's run across all its seeds.
@@ -323,15 +335,25 @@ func planForSeed(cell Cell, seed uint64, counts [pmem.NumFaultEvents]uint64, win
 }
 
 // runSeed executes one crash seed end to end and returns the oracle
-// violations plus the recovery report (nil if the build failed).
-func runSeed(cell Cell, opts Options, seed uint64, counts [pmem.NumFaultEvents]uint64, winBase, winSize uint64) (viol []string, rep *core.RecoveryReport, plan *pmem.FaultPlan, crashed bool) {
+// violations plus the recovery report (nil if the build failed). With
+// opts.TraceDir set, a failing seed's pre-crash trace is written there and
+// its path returned.
+func runSeed(cell Cell, opts Options, seed uint64, counts [pmem.NumFaultEvents]uint64, winBase, winSize uint64) (viol []string, rep *core.RecoveryReport, plan *pmem.FaultPlan, crashed bool, tracePath string) {
 	e, m, err := buildCell(cell)
 	if err != nil {
-		return []string{fmt.Sprintf("setup: %v", err)}, nil, nil, false
+		return []string{fmt.Sprintf("setup: %v", err)}, nil, nil, false, ""
+	}
+	// Arm an unsampled tracer so a violating seed's full transaction history
+	// is available; the workload is sequential, so Dump after the crash is
+	// safe.
+	var tracer *obs.Tracer
+	if opts.TraceDir != "" {
+		tracer = obs.NewTracer(cellThreads, obs.TraceOptions{Sample: 1})
+		e.SetTracer(tracer)
 	}
 	plan = planForSeed(cell, seed, counts, winBase, winSize)
 	if plan == nil {
-		return []string{"calibration found no fault points"}, nil, nil, false
+		return []string{"calibration found no fault points"}, nil, nil, false, ""
 	}
 	e.System().SetFaults(plan)
 	crashed = runWorkload(e, m, genOps(opts.WorkloadSeed, txnBudget, cellThreads))
@@ -339,7 +361,8 @@ func runSeed(cell Cell, opts Options, seed uint64, counts [pmem.NumFaultEvents]u
 	sys2 := e.System().Crash()
 	e2, r, err := core.Recover(sys2, cellConfig(cell.Config))
 	if err != nil {
-		return []string{fmt.Sprintf("recovery failed: %v", err)}, nil, plan, crashed
+		viol = []string{fmt.Sprintf("recovery failed: %v", err)}
+		return viol, nil, plan, crashed, dumpSeedTrace(opts.TraceDir, cell, seed, tracer)
 	}
 	rep = r
 
@@ -375,7 +398,48 @@ func runSeed(cell Cell, opts Options, seed uint64, counts [pmem.NumFaultEvents]u
 			viol = append(viol, fmt.Sprintf("post-recovery transaction on worker %d failed: %v", w, err))
 		}
 	}
-	return viol, rep, plan, crashed
+	if len(viol) > 0 {
+		tracePath = dumpSeedTrace(opts.TraceDir, cell, seed, tracer)
+	}
+	return viol, rep, plan, crashed, tracePath
+}
+
+// dumpSeedTrace writes a failing seed's pre-crash trace as Chrome trace JSON
+// into dir and returns the file path ("" when tracing is off or the write
+// fails — a trace dump must never turn a clean verdict into an error).
+func dumpSeedTrace(dir string, cell Cell, seed uint64, tracer *obs.Tracer) string {
+	if tracer == nil {
+		return ""
+	}
+	name := fmt.Sprintf("crash-%s-%s-seed%d.json",
+		sanitizeName(cell.Config.Name), ModeName(cell.Mode), seed)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	label := fmt.Sprintf("%s seed %d (pre-crash)", cell, seed)
+	err = obs.WriteChromeTrace(f, []obs.NamedDump{{Label: label, Dump: tracer.Dump()}})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return ""
+	}
+	return path
+}
+
+// sanitizeName makes an engine preset name filesystem-safe ("Inp NoFlush" →
+// "Inp-NoFlush").
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, s)
 }
 
 // RunCell runs the cell across opts.Seeds crash seeds and aggregates the
@@ -383,6 +447,12 @@ func runSeed(cell Cell, opts Options, seed uint64, counts [pmem.NumFaultEvents]u
 func RunCell(cell Cell, opts Options) CellResult {
 	opts = opts.withDefaults()
 	res := CellResult{Cell: cell, Strict: cell.Strict(), Seeds: opts.Seeds}
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			res.Violations = append(res.Violations, Violation{Seed: 0, Detail: fmt.Sprintf("trace dir: %v", err)})
+			return res
+		}
+	}
 	counts, winBase, winSize, err := calibrate(cell, opts)
 	if err != nil {
 		res.Violations = append(res.Violations, Violation{Seed: 0, Detail: fmt.Sprintf("calibration: %v", err)})
@@ -390,7 +460,7 @@ func RunCell(cell Cell, opts Options) CellResult {
 	}
 	for s := 0; s < opts.Seeds; s++ {
 		seed := opts.FirstSeed + uint64(s)
-		viol, rep, plan, crashed := runSeed(cell, opts, seed, counts, winBase, winSize)
+		viol, rep, plan, crashed, tracePath := runSeed(cell, opts, seed, counts, winBase, winSize)
 		if crashed {
 			res.Crashes++
 		}
@@ -407,7 +477,7 @@ func RunCell(cell Cell, opts Options) CellResult {
 			res.DetectedCorrupt += rep.CorruptRecords
 		}
 		for _, v := range viol {
-			res.Violations = append(res.Violations, Violation{Seed: seed, Detail: v})
+			res.Violations = append(res.Violations, Violation{Seed: seed, Detail: v, TracePath: tracePath})
 		}
 	}
 	return res

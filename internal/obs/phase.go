@@ -114,15 +114,23 @@ func (s *PhaseSet) AddTo(dst *[NumPhases]uint64) {
 type PhaseTimer struct {
 	ps   *PhaseSet
 	clk  *sim.Clock
+	tr   *WorkerTracer
 	cur  Phase
 	mark uint64
 }
 
 // Start binds the timer to a worker's PhaseSet and clock and opens
-// accounting in PhaseExec.
+// accounting in PhaseExec. Any attached tracer is cleared; AttachTrace must
+// follow Start when span capture is wanted.
 func (t *PhaseTimer) Start(ps *PhaseSet, clk *sim.Clock) {
-	t.ps, t.clk, t.cur, t.mark = ps, clk, PhaseExec, clk.Nanos()
+	t.ps, t.clk, t.tr, t.cur, t.mark = ps, clk, nil, PhaseExec, clk.Nanos()
 }
+
+// AttachTrace routes every closed phase segment to tr as an EvPhase span.
+// The timer already knows each segment's boundaries, so attaching here
+// instruments all phases with no extra call sites. A nil tr (the common,
+// unarmed case) costs one pointer test per transition.
+func (t *PhaseTimer) AttachTrace(tr *WorkerTracer) { t.tr = tr }
 
 // To closes the current segment (attributing its virtual time to the current
 // phase), opens a segment in p, and returns the phase that was current —
@@ -133,6 +141,9 @@ func (t *PhaseTimer) To(p Phase) Phase {
 	}
 	now := t.clk.Nanos()
 	t.ps.nanos[t.cur] += now - t.mark
+	if t.tr != nil {
+		t.tr.PhaseSeg(t.cur, t.mark, now)
+	}
 	prev := t.cur
 	t.cur, t.mark = p, now
 	return prev
@@ -143,6 +154,11 @@ func (t *PhaseTimer) Finish() {
 	if t.ps == nil {
 		return
 	}
-	t.ps.nanos[t.cur] += t.clk.Nanos() - t.mark
+	now := t.clk.Nanos()
+	t.ps.nanos[t.cur] += now - t.mark
+	if t.tr != nil {
+		t.tr.PhaseSeg(t.cur, t.mark, now)
+		t.tr = nil
+	}
 	t.ps = nil
 }

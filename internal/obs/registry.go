@@ -101,6 +101,40 @@ func (s HotSetStats) Sub(o HotSetStats) HotSetStats {
 	return HotSetStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Evictions: s.Evictions - o.Evictions}
 }
 
+// TableStats counts per-table heap and index activity. Like the phase sets,
+// the engine keeps one accumulator per worker per table (single-writer) and
+// sums them at snapshot time.
+type TableStats struct {
+	// Reads counts tuple read attempts (point reads and scan visits).
+	Reads uint64
+	// Writes counts write-set entries applied at commit (inserts, updates,
+	// deletes).
+	Writes uint64
+	// Versions counts versions installed in the version store (out-of-place
+	// materializations and in-place pre-images).
+	Versions uint64
+	// IndexProbes counts index lookups (point gets and scan descents).
+	IndexProbes uint64
+}
+
+// Add sums o into s.
+func (s *TableStats) Add(o TableStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Versions += o.Versions
+	s.IndexProbes += o.IndexProbes
+}
+
+// Sub returns s - o.
+func (s TableStats) Sub(o TableStats) TableStats {
+	return TableStats{
+		Reads:       s.Reads - o.Reads,
+		Writes:      s.Writes - o.Writes,
+		Versions:    s.Versions - o.Versions,
+		IndexProbes: s.IndexProbes - o.IndexProbes,
+	}
+}
+
 // Snapshot is one observation of everything the registry knows: engine
 // counters, phase accounting, abort taxonomy, WAL and hot-set gauges, and
 // the pmem hardware counters. Snapshots are plain values; Sub diffs two of
@@ -113,6 +147,9 @@ type Snapshot struct {
 	WAL         WALStats
 	Hot         HotSetStats
 	Mem         pmem.Snapshot
+	// Tables maps table name to its per-table counters (nil when the source
+	// engine registers no tables).
+	Tables map[string]TableStats `json:",omitempty"`
 }
 
 // Sub returns the element-wise difference s - o.
@@ -129,6 +166,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	}
 	for i := range s.AbortCounts {
 		out.AbortCounts[i] = s.AbortCounts[i] - o.AbortCounts[i]
+	}
+	if s.Tables != nil {
+		out.Tables = make(map[string]TableStats, len(s.Tables))
+		for name, ts := range s.Tables {
+			out.Tables[name] = ts.Sub(o.Tables[name])
+		}
 	}
 	return out
 }
@@ -176,6 +219,19 @@ func (s Snapshot) Text() string {
 		fmt.Fprintf(&b, "hot-set   hits %d  misses %d  evictions %d\n",
 			s.Hot.Hits, s.Hot.Misses, s.Hot.Evictions)
 	}
+	if len(s.Tables) > 0 {
+		names := make([]string, 0, len(s.Tables))
+		for name := range s.Tables {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("tables    reads / writes / versions / index-probes\n")
+		for _, name := range names {
+			t := s.Tables[name]
+			fmt.Fprintf(&b, "  %-14s %10d %10d %10d %10d\n",
+				name, t.Reads, t.Writes, t.Versions, t.IndexProbes)
+		}
+	}
 	fmt.Fprintf(&b, "pmem      media reads %d  writes %d (full %d, partial %d)  write-amp %.2f\n",
 		s.Mem.MediaReads, s.Mem.MediaWrites, s.Mem.FullBlockWrites,
 		s.Mem.PartialBlockWrites, s.Mem.WriteAmplification())
@@ -195,7 +251,7 @@ func (s Snapshot) JSON() ([]byte, error) {
 	for i, n := range s.AbortCounts {
 		reasons[AbortReasonNames[i]] = n
 	}
-	return json.MarshalIndent(map[string]any{
+	m := map[string]any{
 		"commits":      s.Commits,
 		"aborts":       s.Aborts,
 		"phase_nanos":  phases,
@@ -203,7 +259,11 @@ func (s Snapshot) JSON() ([]byte, error) {
 		"wal":          s.WAL,
 		"hot_set":      s.Hot,
 		"pmem":         s.Mem,
-	}, "", "  ")
+	}
+	if len(s.Tables) > 0 {
+		m["tables"] = s.Tables
+	}
+	return json.MarshalIndent(m, "", "  ")
 }
 
 // Registry is the unified stats registry: named collectors contribute their

@@ -88,6 +88,10 @@ func (s *System) SetFaults(p *FaultPlan) {
 // Faults returns the armed plan, or nil.
 func (s *System) Faults() *FaultPlan { return s.faults }
 
+// SetTrace arms an XPBuffer-eviction trace hook (see TraceFn). Pass nil to
+// disarm. Like SetFaults, arming must happen while workers are quiescent.
+func (s *System) SetTrace(fn TraceFn) { s.XPB.trace = fn }
+
 // Crash simulates a power failure: the persistence-domain flush runs
 // according to the mode, and a fresh System (cold cache, empty XPBuffer) is
 // returned over the same durable device image. The old System must not be

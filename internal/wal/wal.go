@@ -109,7 +109,15 @@ type Window struct {
 	// like the window itself: only the owning thread updates it, and
 	// snapshots are taken while workers are quiescent.
 	stats obs.WALStats
+	// tr, when armed, receives slot-claim and flush-train trace events.
+	// Owned by the same worker goroutine as the window (single-writer); nil
+	// when tracing is off, so the fast path pays one pointer test.
+	tr *obs.WorkerTracer
 }
+
+// SetTrace arms (or with nil, disarms) trace-event capture on the window.
+// Must be called while the owning worker is quiescent.
+func (w *Window) SetTrace(tr *obs.WorkerTracer) { w.tr = tr }
 
 // Stats returns a copy of the window's accumulated gauges, with the slot
 // capacity filled in as the occupancy denominator.
@@ -158,8 +166,16 @@ func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
 	i := w.cur
 	w.cur = (w.cur + 1) % w.cfg.Slots
 	w.stats.Begins++
-	if w.stats.Begins > uint64(w.cfg.Slots) {
+	wrapped := w.stats.Begins > uint64(w.cfg.Slots)
+	if wrapped {
 		w.stats.Wraps++ // reclaiming a previously used slot: the window cycled
+	}
+	if w.tr != nil {
+		var wr uint64
+		if wrapped {
+			wr = 1
+		}
+		w.tr.Instant(obs.EvWALClaim, clk.Nanos(), uint64(i), wr)
 	}
 	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
 	var hdr [32]byte
@@ -305,18 +321,27 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 	l.w.space.Write(clk, base+hdrState, st[:])
 	l.w.space.SFence(clk)
 
-	if l.w.cfg.Flush {
-		// Classic NVM logging: force the whole record to the media. The
-		// record is contiguous, so these clwbs merge into full blocks.
-		l.w.space.CLWB(clk, base, l.pos)
-		l.w.space.SFence(clk)
-	}
-	if l.extPos > 0 {
-		// Overflow bytes will not stay cached (they are written once and
-		// not reused); flush them eagerly — this is the cost that erodes
-		// the small-log-window benefit for oversized transactions.
-		l.w.space.CLWB(clk, l.w.ovfOff(l.slot), l.extPos)
-		l.w.space.SFence(clk)
+	if l.w.cfg.Flush || l.extPos > 0 {
+		flushStart := clk.Nanos()
+		var lines uint64
+		if l.w.cfg.Flush {
+			// Classic NVM logging: force the whole record to the media. The
+			// record is contiguous, so these clwbs merge into full blocks.
+			l.w.space.CLWB(clk, base, l.pos)
+			l.w.space.SFence(clk)
+			lines += uint64(l.pos+63) / 64
+		}
+		if l.extPos > 0 {
+			// Overflow bytes will not stay cached (they are written once and
+			// not reused); flush them eagerly — this is the cost that erodes
+			// the small-log-window benefit for oversized transactions.
+			l.w.space.CLWB(clk, l.w.ovfOff(l.slot), l.extPos)
+			l.w.space.SFence(clk)
+			lines += uint64(l.extPos+63) / 64
+		}
+		if l.w.tr != nil {
+			l.w.tr.Span(obs.EvFlushTrain, flushStart, clk.Nanos(), lines, 0)
+		}
 	}
 }
 
