@@ -1,6 +1,6 @@
 # Convenience targets; everything also works with plain go commands.
 
-.PHONY: build test race bench bench-quick sweep phase-tables trace-check
+.PHONY: build test race race-par bench bench-quick sweep phase-tables trace-check
 
 build:
 	go build ./...
@@ -11,6 +11,13 @@ test:
 # The race lane CI runs: -short trims property-check sample counts.
 race:
 	go test -race -short ./internal/obs ./internal/bench ./internal/pmem ./internal/core
+
+# Worker-parallel race lane: the same engine/simulation packages plus the
+# crash-consistency oracle, with GOMAXPROCS=4 so the group scheduler's round
+# barriers, per-worker timing partitions, and the free-running spin-locked
+# paths actually interleave across cores under the race detector.
+race-par:
+	GOMAXPROCS=4 go test -race -short ./internal/crashtest ./internal/core ./internal/pmem ./internal/bench
 
 # Append a full host-performance run (micro ops, one YCSB cell, the default
 # Figure-11 grid) to BENCH_hostperf.json. Compare entries against the first

@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"falcon/internal/bench"
@@ -29,10 +31,15 @@ import (
 
 // Run is one measurement session appended to the baseline file.
 type Run struct {
-	Label      string  `json:"label"`
-	Date       string  `json:"date"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Quick      bool    `json:"quick,omitempty"`
+	Label      string `json:"label"`
+	Date       string `json:"date"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+	// WorkerPar records whether the timed cells ran their workers through
+	// the deterministic group scheduler (-parworkers) instead of the default
+	// free-running mode. The two modes are different simulated machines, so
+	// entries are only comparable to entries with the same setting.
+	WorkerPar bool `json:"worker_par,omitempty"`
 	// Host nanoseconds per simulated 64 B operation (32 MiB working set on
 	// a 64 MiB device — miss-heavy, the expensive path).
 	PmemStore64Ns   float64 `json:"pmem_store64_ns"`
@@ -56,20 +63,30 @@ type Baseline struct {
 	Runs        []Run  `json:"runs"`
 }
 
+// parWorkers is set by -parworkers: timed cells run their workers through
+// the deterministic group scheduler.
+var parWorkers bool
+
 func main() {
 	out := flag.String("out", "BENCH_hostperf.json", "baseline file to append this run to")
 	label := flag.String("label", "", "label for this run (default: hostbench-<date>)")
 	quick := flag.Bool("quick", false, "skip the full Figure-11 grid (CI-friendly, ~10s)")
 	par := flag.Int("par", 0, "concurrent grid cells (0 = GOMAXPROCS)")
+	procs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before timing (0 = leave as-is); the effective value is recorded in the run entry")
+	flag.BoolVar(&parWorkers, "parworkers", false, "run the timed cells' workers through the deterministic group scheduler; recorded per entry as worker_par")
 	var tf bench.TraceFlag
 	tf.Register()
 	flag.Parse()
 
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 	r := Run{
 		Label:      *label,
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
+		WorkerPar:  parWorkers,
 	}
 	if r.Label == "" {
 		r.Label = "hostbench-" + r.Date
@@ -142,12 +159,48 @@ func tracedCell(tf *bench.TraceFlag) {
 	}
 }
 
+// runSchema returns the JSON field names this binary writes for a Run entry.
+func runSchema() map[string]bool {
+	fields := map[string]bool{}
+	t := reflect.TypeOf(Run{})
+	for i := 0; i < t.NumField(); i++ {
+		name := strings.Split(t.Field(i).Tag.Get("json"), ",")[0]
+		if name != "" && name != "-" {
+			fields[name] = true
+		}
+	}
+	return fields
+}
+
+// checkSchema refuses to append to a baseline whose entries carry fields this
+// binary does not know: appending would mix two incompatible run schemas in
+// one tracked file and silently strip the unknown fields on rewrite. Entries
+// merely missing newer fields are fine — the schema only grows.
+func checkSchema(path string, data []byte) {
+	var raw struct {
+		Runs []map[string]json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return // load reports malformed files separately
+	}
+	known := runSchema()
+	for i, run := range raw.Runs {
+		for k := range run {
+			if !known[k] {
+				fmt.Fprintf(os.Stderr, "%s: run %d has field %q outside this binary's run schema; refusing to append (migrate the baseline or rebuild falcon-hostbench)\n", path, i, k)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
 func load(path string) Baseline {
 	b := Baseline{Description: "Host wall-clock cost of the simulation; virtual-time results are unaffected. First entry is the tracked baseline."}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return b
 	}
+	checkSchema(path, data)
 	if err := json.Unmarshal(data, &b); err != nil {
 		fmt.Fprintf(os.Stderr, "warning: %s is not a baseline file (%v); starting fresh\n", path, err)
 		return Baseline{Description: b.Description}
@@ -216,7 +269,8 @@ func ycsbCell() (seconds, nsPerTxn float64) {
 	start := time.Now()
 	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
 	if err == nil {
-		_, err = bench.Run(e, "YCSB-A", bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+		_, err = bench.Run(e, "YCSB-A",
+			bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup, ParWorkers: parWorkers},
 			func(w int) (int, error) { return 0, d.Next(w) })
 	}
 	if err != nil {
@@ -245,7 +299,8 @@ func fig11Grid(par int) float64 {
 			if err != nil {
 				return nil, err
 			}
-			return bench.Run(e, "YCSB-A", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+			return bench.Run(e, "YCSB-A",
+				bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup, ParWorkers: parWorkers},
 				func(w int) (int, error) { return 0, d.Next(w) })
 		}
 	}
@@ -259,7 +314,8 @@ func fig11Grid(par int) float64 {
 			if err != nil {
 				return nil, err
 			}
-			return bench.Run(e, "TPC-C", bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup},
+			return bench.Run(e, "TPC-C",
+				bench.Options{Workers: th, TxnsPerWorker: txns, WarmupPerWorker: warmup, ParWorkers: parWorkers},
 				func(w int) (int, error) { return 0, d.Next(w) })
 		}},
 		{"YCSB-A Uniform", ycsbRun(ycsb.Uniform)},

@@ -35,6 +35,7 @@ func main() {
 	records := flag.Uint64("records", 50_000, "YCSB records")
 	tupleSize := flag.Bool("tuplesize", false, "run Figure 12 (tuple-size sweep) instead of Figure 11")
 	par := flag.Int("par", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+	flag.BoolVar(&parWorkers, "parworkers", false, "run each cell's workers through the deterministic group scheduler (results independent of GOMAXPROCS; a different simulated machine than the default free-running mode)")
 	jsonPath := flag.String("json", "", "also write per-cell results (incl. latency histograms) as JSON to this file")
 	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per sweep cell")
 	flag.StringVar(&mdPath, "md", "", "splice generated phase-share tables into this markdown file (e.g. EXPERIMENTS.md)")
@@ -70,13 +71,15 @@ func main() {
 var showStats bool
 
 // tf carries the shared -trace flags; mdPath/streamW/streamEvery the
-// markdown and streaming exports. All are written once in main before any
-// cell runs.
+// markdown and streaming exports; parWorkers flips every cell into the
+// deterministic worker-parallel scheduler. All are written once in main
+// before any cell runs.
 var (
 	tf          bench.TraceFlag
 	mdPath      string
 	streamW     *bench.StreamWriter
 	streamEvery int
+	parWorkers  bool
 )
 
 // cellOptions decorates a cell's bench.Options with the sweep-wide trace and
@@ -84,6 +87,7 @@ var (
 // and stream lines.
 func cellOptions(label string, opts bench.Options) bench.Options {
 	opts.Trace = tf.Options()
+	opts.ParWorkers = parWorkers
 	if streamW != nil && streamEvery > 0 {
 		opts.EpochTxns = streamEvery
 		opts.OnEpoch = func(epoch int, snap obs.Snapshot) {
@@ -123,6 +127,19 @@ func writeMD(meta []jsonCell) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "phase-share tables spliced into %s\n", mdPath)
+
+	// The host-speedup table times its own worker-parallel cell at each
+	// GOMAXPROCS setting; it is independent of the grid just swept.
+	speedup, err := bench.HostSpeedupMarkdown([]int{1, 2, 4}, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "md export:", err)
+		return
+	}
+	if err := bench.SpliceMarkdown(mdPath, "host-speedup", speedup); err != nil {
+		fmt.Fprintln(os.Stderr, "md export:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "host-speedup table spliced into %s\n", mdPath)
 }
 
 func parseInts(s string) []int {

@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"falcon/internal/core"
 	"falcon/internal/obs"
@@ -41,6 +42,13 @@ type Options struct {
 	// OnEpoch is called after each epoch (and is never called when
 	// EpochTxns <= 0). The epoch counter starts at 1.
 	OnEpoch func(epoch int, snap obs.Snapshot)
+	// ParWorkers runs the workers through the engine's deterministic group
+	// scheduler (core.Engine.EnterGroup): real goroutines, virtual-time round
+	// barriers, results independent of GOMAXPROCS and host schedule. Note
+	// that group mode is a different simulated machine than free-running mode
+	// (per-worker timing partitions, round-frozen conflict windows), so its
+	// virtual numbers are not comparable with ParWorkers=false runs.
+	ParWorkers bool
 }
 
 // Result is one measured configuration.
@@ -81,6 +89,8 @@ type Result struct {
 	// Trace is the transaction-level trace of the measured phase, present
 	// only when Options.Trace was set.
 	Trace *obs.TraceDump `json:"Trace,omitempty"`
+	// ParWorkers records that the run used the deterministic group scheduler.
+	ParWorkers bool `json:"ParWorkers,omitempty"`
 }
 
 // Run executes the workload on the engine and measures it.
@@ -107,19 +117,43 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 		hists[w] = make([]obs.Histogram, opts.Classes)
 	}
 
+	if opts.ParWorkers {
+		e.EnterGroup()
+		defer e.LeaveGroup()
+	}
+
 	runPhase := func(txns int, record bool) error {
 		var wg sync.WaitGroup
 		errs := make([]error, opts.Workers)
+		// cancel aborts the whole phase promptly when any worker fails:
+		// without it the failing worker returns while the others grind
+		// through their full transaction count.
+		var cancel atomic.Bool
+		var g *sim.Group
+		if opts.ParWorkers {
+			g = e.Group()
+			g.Begin(opts.Workers)
+		}
 		for w := 0; w < opts.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				if g != nil {
+					// Retire from the round scheduler on any exit path —
+					// a worker that leaves without this parks the others
+					// at the next barrier forever.
+					defer g.Leave()
+				}
 				clk := e.Clock(w)
 				for i := 0; i < txns; i++ {
+					if cancel.Load() {
+						return
+					}
 					before := clk.Nanos()
 					class, err := fn(w)
 					if err != nil {
 						errs[w] = fmt.Errorf("worker %d txn %d: %w", w, i, err)
+						cancel.Store(true)
 						return
 					}
 					if record {
@@ -187,6 +221,7 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 		MediaReads:   snap.Mem.MediaReads,
 		WriteAmp:     snap.Mem.WriteAmplification(),
 		Obs:          snap,
+		ParWorkers:   opts.ParWorkers,
 	}
 	for w := 0; w < opts.Workers; w++ {
 		if n := e.Clock(w).Nanos(); n > 0 {

@@ -112,6 +112,11 @@ func (g *TIDGen) Next(thread int) uint64 {
 	return g.clock.Add(1)<<8 | uint64(thread&0xFF)
 }
 
+// Seq returns the current clock value: the sequence part (TID >> 8) of the
+// most recently issued TID, 0 if none. Deterministic group mode uses it to
+// base virtual-time TID sequences above every previously issued TID.
+func (g *TIDGen) Seq() uint64 { return g.clock.Load() }
+
 // Restore fast-forwards the clock so that every future TID exceeds seenTID.
 // Recovery calls this with the largest TID found in the logs.
 func (g *TIDGen) Restore(seenTID uint64) {

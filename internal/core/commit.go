@@ -8,6 +8,7 @@ import (
 	"falcon/internal/cc"
 	"falcon/internal/index"
 	"falcon/internal/obs"
+	"falcon/internal/sim"
 	"falcon/internal/wal"
 )
 
@@ -21,6 +22,11 @@ var ErrRollback = errors.New("core: rollback requested")
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return errors.New("core: commit on finished transaction")
+	}
+	if tx.dt != nil {
+		// Group mode: run the worker-side head, then submit to the round
+		// barrier, which replays commit tails in canonical order (det.go).
+		return tx.commitDet()
 	}
 	if tx.ro || (len(tx.writes) == 0 && len(tx.inserts) == 0) {
 		tx.pt.To(obs.PhaseCC)
@@ -51,6 +57,13 @@ func (tx *Txn) commitInPlace() error {
 			return ErrConflict
 		}
 	}
+	tx.commitInPlaceTail()
+	return nil
+}
+
+// commitInPlaceTail is the shared-state half of the in-place commit; group
+// mode runs it inside the round barrier.
+func (tx *Txn) commitInPlaceTail() {
 	tx.publishVersions()
 
 	// Durable commit point (Algorithm 1 line 2 + the write-set contents
@@ -59,16 +72,23 @@ func (tx *Txn) commitInPlace() error {
 	tx.log.Commit(tx.clk)
 	tx.pt.To(obs.PhaseHeapWrite)
 
-	// Apply in log order so later ops override earlier ones.
+	// Apply in log order so later ops override earlier ones. Touched slots
+	// are tracked in first-touch order (a map here would iterate in random
+	// order, making the WriteTS sequence — and with it the simulated cache
+	// state — differ between identical runs).
 	apply := tx.applyOrder()
-	touched := make(map[*Table]map[uint64]struct{}, 2)
+	type touchedSlot struct {
+		t    *Table
+		slot uint64
+	}
+	touched := make([]touchedSlot, 0, len(apply))
 	markTouched := func(t *Table, slot uint64) {
-		m := touched[t]
-		if m == nil {
-			m = make(map[uint64]struct{}, 4)
-			touched[t] = m
+		for i := range touched {
+			if touched[i].t == t && touched[i].slot == slot {
+				return
+			}
 		}
-		m[slot] = struct{}{}
+		touched = append(touched, touchedSlot{t, slot})
 	}
 	for _, a := range apply {
 		if a.ins != nil {
@@ -89,10 +109,8 @@ func (tx *Txn) commitInPlace() error {
 		tx.tstat(w.t).Writes++
 	}
 	// Durable writer timestamps, one per touched slot.
-	for t, slots := range touched {
-		for slot := range slots {
-			t.heap.WriteTS(tx.clk, slot, tx.tid)
-		}
+	for i := range touched {
+		touched[i].t.heap.WriteTS(tx.clk, touched[i].slot, tx.tid)
 	}
 	tx.e.nvm.SFence(tx.clk) // Algorithm 1 line 7
 
@@ -101,7 +119,6 @@ func (tx *Txn) commitInPlace() error {
 	tx.pt.To(obs.PhaseCC)
 	tx.releaseLocksCommitted()
 	tx.finish(true)
-	return nil
 }
 
 type applyEntry struct {
@@ -152,10 +169,8 @@ func (tx *Txn) applyInsert(ins *insertOp) {
 		t.secondary.Insert(tx.clk, secKey, ins.slot)
 	}
 	tx.pt.To(prev)
-	tx.e.resv.release(tx.clk, t.id, ins.key)
-	if tx.e.tcache != nil {
-		tx.e.tcache.put(tx.clk, t.id, ins.key, payload)
-	}
+	tx.releaseKey(t, ins.key)
+	tx.e.tcPut(tx.clk, tx.worker, t.id, ins.key, payload)
 }
 
 func (tx *Txn) applyDelete(w *writeOp) {
@@ -170,9 +185,7 @@ func (tx *Txn) applyDelete(w *writeOp) {
 		t.secondary.Delete(tx.clk, w.secKey)
 	}
 	tx.pt.To(prev)
-	if tx.e.tcache != nil {
-		tx.e.tcache.invalidate(tx.clk, t.id, w.key)
-	}
+	tx.e.tcInvalidate(tx.clk, t.id, w.key)
 }
 
 // selectiveFlush implements §4.4 / Algorithm 1 lines 8-11: hinted flushes
@@ -249,19 +262,19 @@ func (tx *Txn) occValidate() bool {
 	// the common release/abort paths apply).
 	for i := range tx.occIntents {
 		m := &tx.occIntents[i]
-		lock, _ := m.t.heap.Meta(m.slot)
+		lock, _ := tx.metaFor(m.t, m.slot)
 		pre, ok := cc.TryLockTO(lock)
 		if !ok {
 			return false
 		}
-		tx.locks = append(tx.locks, lockRef{t: m.t, slot: m.slot, pre: pre})
+		tx.locks = append(tx.locks, lockRef{t: m.t, slot: m.slot, pre: pre, vt: tx.clk.Nanos()})
 		if liveErr(m.t, tx.clk, m.slot) != nil {
 			return false // superseded or deleted while we ran
 		}
 	}
 	for i := range tx.reads {
 		r := &tx.reads[i]
-		lock, _ := r.t.heap.Meta(r.slot)
+		lock, _ := tx.metaFor(r.t, r.slot)
 		cur := lock.Load()
 		if cur == r.word {
 			continue
@@ -289,6 +302,12 @@ func (tx *Txn) selfLocked(t *Table, slot uint64) bool {
 // releaseLocksKeep releases every held lock, preserving the pre-lock writer
 // timestamps (read-only commit and abort paths).
 func (tx *Txn) releaseLocksKeep() {
+	if tx.dt != nil {
+		// Group mode: locks were taken on the private overlay, which dies
+		// with the transaction — nothing to undo on live words.
+		tx.locks = tx.locks[:0]
+		return
+	}
 	for i := range tx.locks {
 		l := &tx.locks[i]
 		lock, _ := l.t.heap.Meta(l.slot)
@@ -306,6 +325,27 @@ func (tx *Txn) releaseLocksKeep() {
 
 // releaseLocksCommitted installs the new writer TID and releases every lock.
 func (tx *Txn) releaseLocksCommitted() {
+	if tx.dt != nil {
+		// Group mode: exclusive locks were taken on the overlay, so there is
+		// nothing to unlock — but the new writer timestamp must land on the
+		// LIVE word so later rounds observe this commit. Shared locks were
+		// never reflected in the live word; skip them (a live ReadUnlock2PL
+		// here would underflow the reader count).
+		for i := range tx.locks {
+			l := &tx.locks[i]
+			if l.shared {
+				continue
+			}
+			lock, _ := l.t.heap.Meta(l.slot)
+			if tx.e.cfg.CC.Base() == cc.TwoPL {
+				cc.WriteUnlock2PL(lock, tx.tid)
+			} else {
+				cc.UnlockTO(lock, tx.tid)
+			}
+		}
+		tx.locks = tx.locks[:0]
+		return
+	}
 	for i := range tx.locks {
 		l := &tx.locks[i]
 		lock, _ := l.t.heap.Meta(l.slot)
@@ -335,7 +375,7 @@ func (tx *Txn) Abort() {
 	tx.releaseLocksKeep()
 	for i := range tx.inserts {
 		ins := &tx.inserts[i]
-		tx.e.resv.release(tx.clk, ins.t.id, ins.key)
+		tx.releaseKey(ins.t, ins.key)
 		// The pre-allocated slot was never published; recycle it at once.
 		ins.t.heap.Retire(tx.clk, ins.slot, 0, 0, false)
 	}
@@ -393,7 +433,18 @@ func (e *Engine) Run(worker int, fn func(*Txn) error) error {
 		tx.classifyAbort(err)
 		tx.Abort()
 		if errors.Is(err, ErrConflict) {
-			runtime.Gosched() // break retry lockstep between workers
+			if d := e.det; d != nil {
+				// A conflict detected during execution (against round-frozen
+				// state) waits out the current round with an empty attempt;
+				// one detected at the barrier already consumed the round, so
+				// retry immediately. Retried attempts draw strictly larger
+				// TIDs, so a stale frozen timestamp eventually clears.
+				if tx.dt == nil || !tx.dt.submitted {
+					d.group.Submit(&sim.Attempt{Order: tx.tid})
+				}
+			} else {
+				runtime.Gosched() // break retry lockstep between workers
+			}
 			continue
 		}
 		return err
@@ -414,7 +465,13 @@ func (e *Engine) RunRO(worker int, fn func(*Txn) error) error {
 		tx.classifyAbort(err)
 		tx.Abort()
 		if errors.Is(err, ErrConflict) {
-			runtime.Gosched()
+			if d := e.det; d != nil {
+				if tx.dt == nil || !tx.dt.submitted {
+					d.group.Submit(&sim.Attempt{Order: tx.tid})
+				}
+			} else {
+				runtime.Gosched()
+			}
 			continue
 		}
 		return err
@@ -460,6 +517,7 @@ func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn f
 	if err != nil {
 		return visited, err
 	}
+	tx.detRecordScan(t)
 	return visited, scanErr
 }
 

@@ -49,6 +49,11 @@ type Engine struct {
 	tcache *tupleCache
 	resv   *reservations
 
+	// det is non-nil while the engine runs in deterministic group mode
+	// (EnterGroup/LeaveGroup, det.go): workers execute in parallel against
+	// round-frozen shared state and merge at virtual-time barriers.
+	det *detState
+
 	clocks  []*sim.Clock
 	scratch []workerScratch
 
@@ -444,6 +449,19 @@ func (e *Engine) Clocks() []*sim.Clock { return e.clocks }
 
 // ResetClocks rewinds all worker clocks (between benchmark phases).
 func (e *Engine) ResetClocks() {
+	if d := e.det; d != nil {
+		// Group-mode TID sequences are base + virtual nanos; rewinding the
+		// clocks would reissue past sequences, so lift the base above every
+		// sequence drawn so far first.
+		var maxSeq uint64
+		for _, s := range d.lastSeq {
+			if s > maxSeq {
+				maxSeq = s
+			}
+		}
+		d.base = maxSeq + 1
+		d.min = d.base << 8
+	}
 	for _, c := range e.clocks {
 		c.Reset()
 	}
@@ -515,10 +533,9 @@ func (t *Table) BulkIndexInsert(key, slot uint64) error {
 		return fmt.Errorf("primary %v: %w", t.primary.Kind(), err)
 	}
 	if t.secondary != nil {
-		scratch := make([]byte, 8)
-		t.heap.ReadRange(nil, slot, t.schema.Offset(t.secondaryCol), scratch)
-		if err := t.secondary.Insert(nil, leU64(scratch), slot); err != nil {
-			return fmt.Errorf("secondary key %#x: %w", leU64(scratch), err)
+		sec := t.heap.ReadRangeU64(nil, slot, t.schema.Offset(t.secondaryCol))
+		if err := t.secondary.Insert(nil, sec, slot); err != nil {
+			return fmt.Errorf("secondary key %#x: %w", sec, err)
 		}
 	}
 	return nil

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -39,6 +38,13 @@ func (tx *Txn) commitOutOfPlace() error {
 			return ErrConflict
 		}
 	}
+	return tx.commitOutOfPlaceTail()
+}
+
+// commitOutOfPlaceTail is the shared-state half of the out-of-place commit;
+// group mode runs it inside the round barrier.
+func (tx *Txn) commitOutOfPlaceTail() error {
+	e := tx.e
 
 	// Group update ops by target slot: one new version per logical tuple.
 	type group struct {
@@ -107,7 +113,7 @@ func (tx *Txn) commitOutOfPlace() error {
 		if g.t.secondary != nil {
 			g.newSec = g.t.schema.GetUint64(scratch, g.t.secondaryCol)
 		}
-		slot, err := g.t.heap.Alloc(tx.clk, tx.worker, e.active.Min())
+		slot, err := g.t.heap.Alloc(tx.clk, tx.worker, e.minActive())
 		if err != nil {
 			retryable := errors.Is(err, heap.ErrReclaimPending)
 			// Roll back versions already materialized in this phase so the
@@ -139,9 +145,7 @@ func (tx *Txn) commitOutOfPlace() error {
 			g.t.heap.CLWBSlot(tx.clk, slot, 0, g.t.schema.TupleSize())
 			tx.pt.To(obs.PhaseHeapWrite)
 		}
-		if e.tcache != nil {
-			e.tcache.put(tx.clk, g.t.id, g.key, scratch)
-		}
+		e.tcPut(tx.clk, tx.worker, g.t.id, g.key, scratch)
 	}
 	// Inserts: fresh slots, same durability rules.
 	for i := range tx.inserts {
@@ -179,9 +183,7 @@ func (tx *Txn) commitOutOfPlace() error {
 					}
 				}
 			}
-			if e.tcache != nil {
-				e.tcache.invalidate(tx.clk, g.t.id, g.key)
-			}
+			e.tcInvalidate(tx.clk, g.t.id, g.key)
 			tx.pt.To(obs.PhaseHeapWrite)
 			g.t.heap.Link(tx.clk, g.oldSlot, e.gen.Next(tx.worker))
 			tx.pt.To(obs.PhaseIndexUpdate)
@@ -232,10 +234,8 @@ func (tx *Txn) commitOutOfPlace() error {
 			secKey := ins.t.schema.GetUint64(ins.data, ins.t.secondaryCol)
 			ins.t.secondary.Insert(tx.clk, secKey, ins.slot)
 		}
-		e.resv.release(tx.clk, ins.t.id, ins.key)
-		if e.tcache != nil {
-			e.tcache.put(tx.clk, ins.t.id, ins.key, ins.data)
-		}
+		tx.releaseKey(ins.t, ins.key)
+		e.tcPut(tx.clk, tx.worker, ins.t.id, ins.key, ins.data)
 	}
 
 	tx.pt.To(obs.PhaseCC)
@@ -247,9 +247,7 @@ func (tx *Txn) commitOutOfPlace() error {
 // writeMarker durably records this thread's newest committed TID.
 func (tx *Txn) writeMarker() {
 	off := tx.e.markerBase + 64*uint64(tx.worker)
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], tx.tid)
-	tx.e.nvm.Write(tx.clk, off, b[:])
+	tx.e.nvm.WriteU64(tx.clk, off, tx.tid)
 	if tx.e.cfg.Flush != FlushNone {
 		tx.e.nvm.CLWB(tx.clk, off, 8)
 	}
@@ -258,7 +256,5 @@ func (tx *Txn) writeMarker() {
 
 // readMarker returns thread t's newest committed TID from the durable image.
 func (e *Engine) readMarker(clk *sim.Clock, t int) uint64 {
-	var b [8]byte
-	e.nvm.Read(clk, e.markerBase+64*uint64(t), b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	return e.nvm.ReadU64(clk, e.markerBase+64*uint64(t))
 }

@@ -309,6 +309,26 @@ func (c *tupleCache) invalidate(clk *sim.Clock, table uint8, key uint64) {
 	sh.mu.Unlock()
 }
 
+// clear drops every cached entry (group-mode entry: the shared cache goes
+// dormant while per-worker caches serve reads, and its contents would be
+// stale on return). Payload bytes in the DRAM space need no scrubbing — an
+// entry is live only while referenced from a shard map.
+func (c *tupleCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			delete(sh.m, k)
+		}
+		for j := range sh.keys {
+			sh.keys[j] = 0
+			sh.ref[j] = false
+		}
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
+}
+
 // evictLocked runs CLOCK over the shard and returns a free entry index.
 func (s *tcShard) evictLocked() int {
 	for {

@@ -51,6 +51,9 @@ type Txn struct {
 	// tr is this worker's trace sink while the engine's tracer is armed
 	// (nil otherwise — the instrumented sites pay one pointer test).
 	tr *obs.WorkerTracer
+	// dt is the deterministic group-mode state (nil in free-running mode —
+	// the instrumented sites pay one pointer test). See det.go.
+	dt *detTxn
 
 	writes     []writeOp
 	inserts    []insertOp
@@ -114,11 +117,14 @@ type insertOp struct {
 	data   []byte // out-of-place engines
 }
 
-// readRef records an OCC read for validation.
+// readRef records an OCC read for validation; group mode records every CC
+// algorithm's reads here, stamped with their virtual time, for the round
+// barrier's conflict windows.
 type readRef struct {
 	t    *Table
 	slot uint64
 	word uint64
+	vt   uint64 // read vtime (group-mode barrier validation)
 }
 
 // lockRef records a held lock for release at commit/abort.
@@ -127,6 +133,7 @@ type lockRef struct {
 	slot   uint64
 	shared bool   // 2PL read lock
 	pre    uint64 // pre-lock word (TO/OCC restore on abort)
+	vt     uint64 // acquisition vtime (group-mode barrier validation)
 }
 
 // Begin starts a read-write transaction on worker's thread.
@@ -144,9 +151,17 @@ func (e *Engine) BeginRO(worker int) *Txn {
 
 func (e *Engine) begin(worker int, ro bool) *Txn {
 	clk := e.clocks[worker]
-	tid := e.gen.Next(worker)
+	var tid uint64
+	if e.det != nil {
+		tid = e.detTID(worker, clk)
+	} else {
+		tid = e.gen.Next(worker)
+	}
 	e.active.Set(worker, tid)
 	tx := &Txn{e: e, worker: worker, tid: tid, clk: clk, ro: ro}
+	if e.det != nil {
+		tx.dt = &detTxn{ov: make(map[detSlot]*ovEntry, 8)}
+	}
 	// Start the phase timer before charging the begin overhead so the phases
 	// partition every transactional nanosecond (the overhead lands in exec).
 	tx.pt.Start(&e.phases[worker], clk)
@@ -233,9 +248,7 @@ func (tx *Txn) resolve(t *Table, key uint64) (uint64, bool) {
 		if t.heap.ReadFlags(tx.clk, slot)&(heap.FlagDeleted|heap.FlagInvalidated) != 0 {
 			return 0, false
 		}
-		var b [8]byte
-		t.heap.ReadRange(tx.clk, slot, t.schema.Offset(t.keyCol), b[:])
-		if leU64(b[:]) != key {
+		if t.heap.ReadRangeU64(tx.clk, slot, t.schema.Offset(t.keyCol)) != key {
 			return 0, false
 		}
 	}
@@ -249,7 +262,7 @@ func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) 
 		return tx.snapshotReadSlot(t, slot, off, n, dst)
 	}
 
-	lock, _ := t.heap.Meta(slot)
+	lock, _ := tx.metaFor(t, slot)
 
 	// Read-your-own-write: the slot is already locked by us; read the base
 	// tuple and overlay pending ops.
@@ -265,13 +278,14 @@ func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) 
 			if !cc.TryReadLock2PL(lock) {
 				return ErrConflict
 			}
-			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, shared: true})
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, shared: true, vt: tx.clk.Nanos()})
 		}
 		// The lock makes the flags stable.
 		if err := liveErr(t, tx.clk, slot); err != nil {
 			return err
 		}
 		tx.readPayload(t, key, slot, off, n, dst)
+		tx.detRecordRead(t, slot)
 		return nil
 
 	case cc.TO:
@@ -280,13 +294,17 @@ func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) 
 			return ErrConflict
 		}
 		flags := t.heap.ReadFlags(tx.clk, slot)
-		_, readTS := t.heap.Meta(slot)
+		_, readTS := tx.metaFor(t, slot)
 		cc.MaxTS(readTS, tx.tid)
 		tx.readPayload(t, key, slot, off, n, dst)
 		if lock.Load() != word {
 			return ErrConflict // concurrent writer slipped in: torn read
 		}
-		return flagsErr(flags)
+		if err := flagsErr(flags); err != nil {
+			return err
+		}
+		tx.detRecordRead(t, slot)
+		return nil
 
 	default: // OCC
 		word := lock.Load()
@@ -301,7 +319,7 @@ func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) 
 		if err := flagsErr(flags); err != nil {
 			return err
 		}
-		tx.reads = append(tx.reads, readRef{t: t, slot: slot, word: word})
+		tx.reads = append(tx.reads, readRef{t: t, slot: slot, word: word, vt: tx.clk.Nanos()})
 		return nil
 	}
 }
@@ -339,7 +357,7 @@ func (tx *Txn) liveIntent(t *Table, slot uint64) error {
 // readPayload reads tuple bytes, consulting the ZenS tuple cache when
 // enabled.
 func (tx *Txn) readPayload(t *Table, key uint64, slot uint64, off, n int, dst []byte) {
-	if tc := tx.e.tcache; tc != nil {
+	if tc := tx.tupleCache(); tc != nil {
 		scratch := tx.e.scratchFor(tx.worker, t.schema.TupleSize())
 		if tc.get(tx.clk, t.id, key, scratch) {
 			copy(dst[:n], scratch[off:off+n])
@@ -469,9 +487,7 @@ func (tx *Txn) Delete(t *Table, key uint64) error {
 	}
 	var secKey uint64
 	if t.secondary != nil {
-		var b [8]byte
-		t.heap.ReadRange(tx.clk, slot, t.schema.Offset(t.secondaryCol), b[:])
-		secKey = leU64(b[:])
+		secKey = t.heap.ReadRangeU64(tx.clk, slot, t.schema.Offset(t.secondaryCol))
 	}
 	return tx.bufferWrite(t, wal.OpDelete, slot, key, 0, nil, secKey)
 }
@@ -487,16 +503,16 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 	if tx.findInsert(t, key) != nil {
 		return ErrDuplicateKey
 	}
-	if !tx.e.resv.tryReserve(tx.clk, t.id, key) {
+	if !tx.reserveKey(t, key) {
 		return ErrConflict // another in-flight insert on the same key
 	}
 	if _, exists := tx.resolve(t, key); exists {
-		tx.e.resv.release(tx.clk, t.id, key)
+		tx.releaseKey(t, key)
 		return ErrDuplicateKey
 	}
-	slot, err := t.heap.Alloc(tx.clk, tx.worker, tx.e.active.Min())
+	slot, err := t.heap.Alloc(tx.clk, tx.worker, tx.e.minActive())
 	if err != nil {
-		tx.e.resv.release(tx.clk, t.id, key)
+		tx.releaseKey(t, key)
 		if errors.Is(err, heap.ErrReclaimPending) {
 			return ErrConflict // backpressure: retry once horizons advance
 		}
@@ -506,7 +522,7 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 	if tx.e.cfg.Update == InPlace {
 		pos := tx.logAppendInsert(t, slot, key, payload)
 		if pos < 0 {
-			tx.e.resv.release(tx.clk, t.id, key)
+			tx.releaseKey(t, key)
 			return ErrTxnTooLarge
 		}
 		ins.logPos = pos
@@ -531,7 +547,7 @@ func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
 	if tx.ownsWrite(t, slot) {
 		return nil
 	}
-	lock, readTS := t.heap.Meta(slot)
+	lock, readTS := tx.metaFor(t, slot)
 	switch tx.e.cfg.CC.Base() {
 	case cc.TwoPL:
 		if tx.holdsShared(t, slot) {
@@ -539,13 +555,13 @@ func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
 				return ErrConflict
 			}
 			tx.dropShared(t, slot)
-			tx.locks = append(tx.locks, lockRef{t: t, slot: slot})
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, vt: tx.clk.Nanos()})
 			return tx.liveIntent(t, slot)
 		}
 		if !cc.TryWriteLock2PL(lock) {
 			return ErrConflict
 		}
-		tx.locks = append(tx.locks, lockRef{t: t, slot: slot})
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, vt: tx.clk.Nanos()})
 		return tx.liveIntent(t, slot)
 
 	case cc.TO:
@@ -557,7 +573,7 @@ func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
 			cc.UnlockTOKeep(lock, pre)
 			return ErrConflict
 		}
-		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, pre: pre})
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, pre: pre, vt: tx.clk.Nanos()})
 		return tx.liveIntent(t, slot)
 
 	default: // OCC defers locking to validation

@@ -261,35 +261,25 @@ func (h *Heap) Meta(slot uint64) (lock, readTS *atomic.Uint64) {
 
 // WriteTS durably records the writer timestamp of slot.
 func (h *Heap) WriteTS(clk *sim.Clock, slot uint64, ts uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], ts)
-	h.space.Write(clk, h.slotOff(slot), b[:])
+	h.space.WriteU64(clk, h.slotOff(slot), ts)
 }
 
 // ReadTS reads the durable writer timestamp of slot.
 func (h *Heap) ReadTS(clk *sim.Clock, slot uint64) uint64 {
-	var b [8]byte
-	h.space.Read(clk, h.slotOff(slot), b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	return h.space.ReadU64(clk, h.slotOff(slot))
 }
 
 // ReadFlags returns the flags byte of slot (low bits of the flags word).
 func (h *Heap) ReadFlags(clk *sim.Clock, slot uint64) uint8 {
-	var b [8]byte
-	h.space.Read(clk, h.slotOff(slot)+8, b[:])
-	return uint8(binary.LittleEndian.Uint64(b[:]) & 0xFF)
+	return uint8(h.space.ReadU64(clk, h.slotOff(slot)+8) & 0xFF)
 }
 
 func (h *Heap) writeFlagsWord(clk *sim.Clock, slot uint64, w uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], w)
-	h.space.Write(clk, h.slotOff(slot)+8, b[:])
+	h.space.WriteU64(clk, h.slotOff(slot)+8, w)
 }
 
 func (h *Heap) readFlagsWord(clk *sim.Clock, slot uint64) uint64 {
-	var b [8]byte
-	h.space.Read(clk, h.slotOff(slot)+8, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	return h.space.ReadU64(clk, h.slotOff(slot)+8)
 }
 
 // SetOccupied marks slot live (insert path).
@@ -318,6 +308,12 @@ func (h *Heap) ReadPayload(clk *sim.Clock, slot uint64, dst []byte) {
 // ReadRange copies payload bytes [off, off+len(dst)).
 func (h *Heap) ReadRange(clk *sim.Clock, slot uint64, off int, dst []byte) {
 	h.space.Read(clk, h.PayloadAddr(slot)+uint64(off), dst)
+}
+
+// ReadRangeU64 reads the little-endian word at payload offset off — the
+// scratch-free form of an 8-byte ReadRange (key and secondary-key probes).
+func (h *Heap) ReadRangeU64(clk *sim.Clock, slot uint64, off int) uint64 {
+	return h.space.ReadU64(clk, h.PayloadAddr(slot)+uint64(off))
 }
 
 // WritePayload overwrites the whole payload.
@@ -351,10 +347,8 @@ func (h *Heap) SFence(clk *sim.Clock) { h.space.SFence(clk) }
 // Loaders should pass ts 0 so recovery classifies the tuple as committed
 // regardless of per-thread commit markers.
 func (h *Heap) BulkInstall(slot uint64, ts uint64, payload []byte) {
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], ts)
-	binary.LittleEndian.PutUint64(hdr[8:], FlagOccupied)
-	h.space.BulkWrite(h.slotOff(slot), hdr[:])
+	h.space.BulkWriteU64(h.slotOff(slot), ts)
+	h.space.BulkWriteU64(h.slotOff(slot)+8, FlagOccupied)
 	h.space.BulkWrite(h.PayloadAddr(slot), payload[:h.slotSize])
 }
 
@@ -362,15 +356,11 @@ func (h *Heap) BulkInstall(slot uint64, ts uint64, payload []byte) {
 
 // readThr / writeThr access a field in the per-thread persistent block.
 func (h *Heap) readThr(clk *sim.Clock, t int, field uint64) uint64 {
-	var b [8]byte
-	h.space.Read(clk, h.thrOff(t)+field, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	return h.space.ReadU64(clk, h.thrOff(t)+field)
 }
 
 func (h *Heap) writeThr(clk *sim.Clock, t int, field uint64, v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	h.space.Write(clk, h.thrOff(t)+field, b[:])
+	h.space.WriteU64(clk, h.thrOff(t)+field, v)
 }
 
 // Alloc returns a free slot for thread t. It prefers the head of the

@@ -184,17 +184,13 @@ func (t *BTreeIndex) allocNode(clk *sim.Clock) (uint64, error) {
 	}
 	id := t.nextFree
 	t.nextFree++
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], t.nextFree)
-	t.space.Write(clk, t.base+16, b[:])
+	t.space.WriteU64(clk, t.base+16, t.nextFree)
 	return id, nil
 }
 
 func (t *BTreeIndex) setRoot(clk *sim.Clock, id uint64) {
 	t.root = id
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], id)
-	t.space.Write(clk, t.base+8, b[:])
+	t.space.WriteU64(clk, t.base+8, id)
 }
 
 // treeWalk holds the reusable per-operation state of a root-to-leaf walk:

@@ -63,9 +63,8 @@ func NewHash(space pmem.Space, base uint64, capacity uint64) (*HashIndex, error)
 	space.BulkWrite(base, hdr[:])
 	// Buckets start zeroed (count 0): the device/DRAM space is zero-filled,
 	// but the region may be reused, so clear headers explicitly.
-	zero := make([]byte, 8)
 	for i := uint64(0); i < nb; i++ {
-		space.BulkWrite(h.bucketOff(i), zero)
+		space.BulkWriteU64(h.bucketOff(i), 0)
 	}
 	h.locks = make([]sync.RWMutex, nb>>stripeShift+1)
 	return h, nil
@@ -138,6 +137,12 @@ func (h *HashIndex) unlockSpan(lo, hi uint64, write bool) {
 
 type bucketBuf [bucketBytes]byte
 
+// bucketBufs recycles bucket images. The buffers are only ever stack-shaped
+// (acquired and released within one index operation), but they are handed to
+// Space.Read through the pmem.Space interface, which forces them to the heap;
+// pooling turns a 256 B allocation per index operation into a pool hit.
+var bucketBufs = sync.Pool{New: func() any { return new(bucketBuf) }}
+
 func (b *bucketBuf) count() int     { return int(binary.LittleEndian.Uint16(b[0:2])) }
 func (b *bucketBuf) setCount(n int) { binary.LittleEndian.PutUint16(b[0:2], uint16(n)) }
 func (b *bucketBuf) overflow() bool { return b[2] != 0 }
@@ -161,7 +166,8 @@ func (h *HashIndex) Get(clk *sim.Clock, key uint64) (uint64, bool) {
 	lo, hi := h.lockSpan(start, false)
 	defer h.unlockSpan(lo, hi, false)
 
-	var buf bucketBuf
+	buf := bucketBufs.Get().(*bucketBuf)
+	defer bucketBufs.Put(buf)
 	for p := uint64(0); p < maxProbe; p++ {
 		bi := (start + p) & (h.nbuckets - 1)
 		h.space.Read(clk, h.bucketOff(bi), buf[:])
@@ -184,7 +190,8 @@ func (h *HashIndex) Insert(clk *sim.Clock, key, val uint64) error {
 	lo, hi := h.lockSpan(start, true)
 	defer h.unlockSpan(lo, hi, true)
 
-	var buf bucketBuf
+	buf := bucketBufs.Get().(*bucketBuf)
+	defer bucketBufs.Put(buf)
 	// First pass: duplicate check across the probe window.
 	for p := uint64(0); p < maxProbe; p++ {
 		bi := (start + p) & (h.nbuckets - 1)
@@ -247,8 +254,9 @@ func (h *HashIndex) Update(clk *sim.Clock, key, val uint64) bool {
 	lo, hi := h.lockSpan(start, true)
 	defer h.unlockSpan(lo, hi, true)
 
-	var buf bucketBuf
-	bi, i, ok := h.findMut(clk, &buf, start, key)
+	buf := bucketBufs.Get().(*bucketBuf)
+	defer bucketBufs.Put(buf)
+	bi, i, ok := h.findMut(clk, buf, start, key)
 	if !ok {
 		return false
 	}
@@ -263,8 +271,9 @@ func (h *HashIndex) Delete(clk *sim.Clock, key uint64) bool {
 	lo, hi := h.lockSpan(start, true)
 	defer h.unlockSpan(lo, hi, true)
 
-	var buf bucketBuf
-	bi, i, ok := h.findMut(clk, &buf, start, key)
+	buf := bucketBufs.Get().(*bucketBuf)
+	defer bucketBufs.Put(buf)
+	bi, i, ok := h.findMut(clk, buf, start, key)
 	if !ok {
 		return false
 	}

@@ -38,6 +38,13 @@ type Cache struct {
 	// harnesses only; see FaultPlan). Nil on every production path, so the
 	// hot loops pay a single predictable branch.
 	faults *FaultPlan
+	// dataless marks a timing-only cache: hit/miss/eviction state and cost
+	// charging run as usual, but line payloads are never copied in or out.
+	// Deterministic worker-parallel mode uses one dataless cache per worker
+	// for timing while the device holds the authoritative bytes (see
+	// System.EnterGroup) — payload copies here would both waste host work
+	// and race with other workers' direct device access.
+	dataless bool
 }
 
 // lineMeta is the scanned-per-access part of a cache line. It is kept apart
@@ -147,7 +154,9 @@ func (c *Cache) storeLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off in
 	set.mu.lock()
 
 	if w := set.findHit(lineAddr); w >= 0 {
-		copy(set.data[w][off:off+len(src)], src)
+		if !c.dataless {
+			copy(set.data[w][off:off+len(src)], src)
+		}
 		set.meta[w].state = lineDirty
 		set.tick++
 		set.meta[w].lru = set.tick
@@ -172,7 +181,9 @@ func (c *Cache) storeLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off in
 		// would be pure wasted host work and a spurious media/buffer read.
 		c.lower.fillLine(clk, lineAddr, &set.data[w])
 	}
-	copy(set.data[w][off:off+len(src)], src)
+	if !c.dataless {
+		copy(set.data[w][off:off+len(src)], src)
+	}
 	m.state = lineDirty
 	set.mu.unlock()
 }
@@ -203,7 +214,9 @@ func (c *Cache) loadLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off int
 	set.mu.lock()
 
 	if w := set.findHit(lineAddr); w >= 0 {
-		copy(dst, set.data[w][off:off+len(dst)])
+		if !c.dataless {
+			copy(dst, set.data[w][off:off+len(dst)])
+		}
 		set.tick++
 		set.meta[w].lru = set.tick
 		set.mu.unlock()
@@ -222,7 +235,9 @@ func (c *Cache) loadLine(clk *sim.Clock, sh *StatShard, lineAddr uint64, off int
 	clk.Advance(c.cost.CacheMissLine)
 	c.lower.fillLine(clk, lineAddr, &set.data[w])
 	m.state = lineClean
-	copy(dst, set.data[w][off:off+len(dst)])
+	if !c.dataless {
+		copy(dst, set.data[w][off:off+len(dst)])
+	}
 	set.mu.unlock()
 }
 
@@ -332,6 +347,21 @@ func (c *Cache) evictLocked(clk *sim.Clock, sh *StatShard, set *cacheSet, w int)
 		sh.CleanEvictions.Add(1)
 	}
 	m.state = lineInvalid
+}
+
+// invalidateAll drops every resident line without writing anything back.
+// Used when entering deterministic group mode: the device image has just
+// been made authoritative (FlushAll), and any line left resident would go
+// stale against the group's direct device writes.
+func (c *Cache) invalidateAll() {
+	for i := range c.sets {
+		set := &c.sets[i]
+		set.mu.lock()
+		for j := range set.meta {
+			set.meta[j].state = lineInvalid
+		}
+		set.mu.unlock()
+	}
 }
 
 // findHit returns the way holding lineAddr, or -1. Hits are the common

@@ -1,6 +1,10 @@
 package pmem
 
-import "falcon/internal/sim"
+import (
+	"encoding/binary"
+
+	"falcon/internal/sim"
+)
 
 // Space is the memory abstraction the database engine is written against.
 // The same engine code runs over a simulated-NVM space (charged through the
@@ -17,10 +21,23 @@ type Space interface {
 	CLWB(clk *sim.Clock, off uint64, n int)
 	// SFence orders preceding stores.
 	SFence(clk *sim.Clock)
+	// ReadU64 reads the little-endian uint64 at off — Read with an 8-byte
+	// buffer. It is on the interface so the scratch word lives inside the
+	// concrete implementation's stack frame: an 8-byte buffer handed
+	// through an interface call heap-escapes, and per-word metadata access
+	// (slot headers, thread cursors, log states) is hot enough on the sweep
+	// path for that allocation to be measurable.
+	ReadU64(clk *sim.Clock, off uint64) uint64
+	// WriteU64 stores a little-endian uint64 at off (same single simulated
+	// store as an 8-byte Write).
+	WriteU64(clk *sim.Clock, off uint64, v uint64)
 	// BulkWrite installs bytes without simulation cost; for initial loads
 	// only. It must not touch ranges already accessed through the cache —
 	// resident lines would go stale.
 	BulkWrite(off uint64, src []byte)
+	// BulkWriteU64 is BulkWrite of one little-endian word, scratch-free
+	// like ReadU64/WriteU64.
+	BulkWriteU64(off uint64, v uint64)
 	// Size returns the capacity in bytes.
 	Size() uint64
 	// Persistent reports whether data written here survives a crash
@@ -32,6 +49,10 @@ type Space interface {
 type NVMSpace struct {
 	cache *Cache
 	dev   *Device
+	// det, when non-nil, routes accesses through per-worker dataless timing
+	// caches with the device as the byte authority (deterministic group
+	// mode; see det.go). Nil on the normal path — one predictable branch.
+	det *detPartition
 }
 
 // NewNVMSpace wraps a cache+device pair as a Space.
@@ -39,13 +60,61 @@ func NewNVMSpace(cache *Cache, dev *Device) *NVMSpace {
 	return &NVMSpace{cache: cache, dev: dev}
 }
 
-func (s *NVMSpace) Read(clk *sim.Clock, off uint64, dst []byte)  { s.cache.Load(clk, off, dst) }
-func (s *NVMSpace) Write(clk *sim.Clock, off uint64, src []byte) { s.cache.Store(clk, off, src) }
-func (s *NVMSpace) CLWB(clk *sim.Clock, off uint64, n int)       { s.cache.CLWB(clk, off, n) }
-func (s *NVMSpace) SFence(clk *sim.Clock)                        { s.cache.SFence(clk) }
-func (s *NVMSpace) BulkWrite(off uint64, src []byte)             { s.dev.RawWrite(off, src) }
-func (s *NVMSpace) Size() uint64                                 { return s.dev.Size() }
-func (s *NVMSpace) Persistent() bool                             { return true }
+func (s *NVMSpace) Read(clk *sim.Clock, off uint64, dst []byte) {
+	if s.det != nil {
+		s.det.cacheFor(clk).Load(clk, off, dst) // timing only (dataless)
+		s.dev.RawRead(off, dst)
+		return
+	}
+	s.cache.Load(clk, off, dst)
+}
+
+func (s *NVMSpace) Write(clk *sim.Clock, off uint64, src []byte) {
+	if s.det != nil {
+		s.det.cacheFor(clk).Store(clk, off, src) // timing only (dataless)
+		s.dev.RawWrite(off, src)
+		return
+	}
+	s.cache.Store(clk, off, src)
+}
+
+func (s *NVMSpace) CLWB(clk *sim.Clock, off uint64, n int) {
+	if s.det != nil {
+		s.det.cacheFor(clk).CLWB(clk, off, n)
+		return
+	}
+	s.cache.CLWB(clk, off, n)
+}
+
+func (s *NVMSpace) SFence(clk *sim.Clock) {
+	if s.det != nil {
+		s.det.cacheFor(clk).SFence(clk)
+		return
+	}
+	s.cache.SFence(clk)
+}
+
+func (s *NVMSpace) ReadU64(clk *sim.Clock, off uint64) uint64 {
+	var b [8]byte
+	s.Read(clk, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *NVMSpace) WriteU64(clk *sim.Clock, off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(clk, off, b[:])
+}
+
+func (s *NVMSpace) BulkWrite(off uint64, src []byte) { s.dev.RawWrite(off, src) }
+
+func (s *NVMSpace) BulkWriteU64(off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.dev.RawWrite(off, b[:])
+}
+func (s *NVMSpace) Size() uint64                     { return s.dev.Size() }
+func (s *NVMSpace) Persistent() bool                 { return true }
 
 // Device exposes the backing device (stats, raw post-crash inspection).
 func (s *NVMSpace) Device() *Device { return s.dev }
@@ -81,6 +150,9 @@ func (d *dramBackend) drain(clk *sim.Clock) {}
 type DRAMSpace struct {
 	back  *dramBackend
 	cache *Cache
+	// det, when non-nil, is the deterministic group-mode partition (see
+	// det.go): per-worker dataless timing caches over the flat array.
+	det *detPartition
 }
 
 // NewDRAMSpace allocates a volatile space of the given size with a default
@@ -100,12 +172,44 @@ func NewDRAMSpaceCache(size uint64, cost sim.CostModel, cacheBytes, ways int) *D
 	}
 }
 
-func (s *DRAMSpace) Read(clk *sim.Clock, off uint64, dst []byte)  { s.cache.Load(clk, off, dst) }
-func (s *DRAMSpace) Write(clk *sim.Clock, off uint64, src []byte) { s.cache.Store(clk, off, src) }
-func (s *DRAMSpace) CLWB(clk *sim.Clock, off uint64, n int)       {}
-func (s *DRAMSpace) SFence(clk *sim.Clock)                        {}
+func (s *DRAMSpace) Read(clk *sim.Clock, off uint64, dst []byte) {
+	if s.det != nil {
+		s.det.cacheFor(clk).Load(clk, off, dst) // timing only (dataless)
+		copy(dst, s.back.data[off:off+uint64(len(dst))])
+		return
+	}
+	s.cache.Load(clk, off, dst)
+}
+
+func (s *DRAMSpace) Write(clk *sim.Clock, off uint64, src []byte) {
+	if s.det != nil {
+		s.det.cacheFor(clk).Store(clk, off, src) // timing only (dataless)
+		copy(s.back.data[off:off+uint64(len(src))], src)
+		return
+	}
+	s.cache.Store(clk, off, src)
+}
+
+func (s *DRAMSpace) ReadU64(clk *sim.Clock, off uint64) uint64 {
+	var b [8]byte
+	s.Read(clk, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (s *DRAMSpace) WriteU64(clk *sim.Clock, off uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	s.Write(clk, off, b[:])
+}
+
+func (s *DRAMSpace) CLWB(clk *sim.Clock, off uint64, n int) {}
+func (s *DRAMSpace) SFence(clk *sim.Clock)                  {}
 func (s *DRAMSpace) BulkWrite(off uint64, src []byte) {
 	copy(s.back.data[off:off+uint64(len(src))], src)
+}
+
+func (s *DRAMSpace) BulkWriteU64(off uint64, v uint64) {
+	binary.LittleEndian.PutUint64(s.back.data[off:off+8], v)
 }
 func (s *DRAMSpace) Size() uint64     { return uint64(len(s.back.data)) }
 func (s *DRAMSpace) Persistent() bool { return false }

@@ -20,7 +20,16 @@ type spinLock struct {
 	v atomic.Int32
 }
 
+// lock is split from lockSlow so the uncontended path — a single CAS —
+// inlines into loadLine/storeLine; the loop would push it past the
+// inlining budget.
 func (l *spinLock) lock() {
+	if !l.v.CompareAndSwap(0, 1) {
+		l.lockSlow()
+	}
+}
+
+func (l *spinLock) lockSlow() {
 	for spins := 0; !l.v.CompareAndSwap(0, 1); spins++ {
 		if spins >= 16 {
 			runtime.Gosched()

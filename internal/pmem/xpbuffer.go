@@ -32,6 +32,14 @@ type XPBuffer struct {
 	// trace, when non-nil, receives every slot eviction (see TraceFn). The
 	// unarmed fast path pays one pointer test per eviction.
 	trace TraceFn
+	// dataless marks a timing-only buffer (deterministic group mode): slot
+	// occupancy, merge accounting and media-cost charging run as usual, but
+	// no payload bytes are staged and — critically — evictions never write
+	// to the device. In group mode the device bytes are maintained directly
+	// by the space; a stale staged payload flushing over them would corrupt
+	// the authoritative image, and the read-modify-write media read of a
+	// partial eviction would race other workers' direct device writes.
+	dataless bool
 }
 
 type xpSlot struct {
@@ -98,7 +106,9 @@ func (b *XPBuffer) WriteLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]by
 
 	if si, ok := bank.index[blockAddr]; ok {
 		s := &bank.slots[si]
-		copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+		if !b.dataless {
+			copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+		}
 		if s.mask&(1<<lineIdx) == 0 {
 			s.mask |= 1 << lineIdx
 			sh.XPBufferMerges.Add(1)
@@ -119,7 +129,9 @@ func (b *XPBuffer) WriteLine(clk *sim.Clock, lineAddr uint64, data *[LineSize]by
 	s.blockAddr = blockAddr
 	s.mask = 1 << lineIdx
 	s.used = true
-	copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+	if !b.dataless {
+		copy(s.data[lineIdx*LineSize:(lineIdx+1)*LineSize], data[:])
+	}
 	bank.index[blockAddr] = si
 	bank.pushFront(si)
 	bank.mu.unlock()
@@ -139,7 +151,9 @@ func (b *XPBuffer) ReadLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte
 	if si, ok := bank.index[blockAddr]; ok {
 		s := &bank.slots[si]
 		if s.mask&(1<<lineIdx) != 0 {
-			copy(dst[:], s.data[lineIdx*LineSize:(lineIdx+1)*LineSize])
+			if !b.dataless {
+				copy(dst[:], s.data[lineIdx*LineSize:(lineIdx+1)*LineSize])
+			}
 			bank.mu.unlock()
 			sh.XPBufferHits.Add(1)
 			clk.Advance(b.cost.XPBufferHit)
@@ -148,7 +162,11 @@ func (b *XPBuffer) ReadLine(clk *sim.Clock, lineAddr uint64, dst *[LineSize]byte
 	}
 	// The media read happens under the bank lock, like evictions' media
 	// writes, so a fill can never observe a torn concurrent write-back.
-	b.dev.readLineInto(lineAddr, dst)
+	// Dataless buffers charge the read without touching device bytes (the
+	// caller reads data straight from the device; see XPBuffer.dataless).
+	if !b.dataless {
+		b.dev.readLineInto(lineAddr, dst)
+	}
 	bank.mu.unlock()
 	sh.MediaReads.Add(1)
 	clk.Advance(b.cost.MediaReadBlock)
@@ -169,14 +187,18 @@ func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, sh *StatShard, bank *xpBank, 
 	evStart := clk.Nanos()
 	full := s.mask == (1<<LinesPerBlock)-1
 	if full {
-		b.dev.writeBlock(s.blockAddr, s.data[:])
+		if !b.dataless {
+			b.dev.writeBlock(s.blockAddr, s.data[:])
+		}
 		sh.FullBlockWrites.Add(1)
 	} else {
 		// Read-modify-write: fetch the block, merge the valid lines, write
 		// the whole block back.
 		sh.MediaReads.Add(1)
 		clk.Advance(b.cost.MediaReadBlock)
-		b.dev.writeLines(s.blockAddr, s.data[:], s.mask)
+		if !b.dataless {
+			b.dev.writeLines(s.blockAddr, s.data[:], s.mask)
+		}
 		sh.PartialBlockWrites.Add(1)
 	}
 	sh.MediaWrites.Add(1)

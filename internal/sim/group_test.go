@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestGroupCanonicalOrder drives N workers through R rounds with
+// deliberately skewed virtual orders and asserts every round's replay sees
+// the attempts sorted by Order, regardless of goroutine arrival order.
+func TestGroupCanonicalOrder(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const workers, rounds = 8, 50
+	var replayed [][]uint64
+	g := NewGroup(func(atts []*Attempt) {
+		var orders []uint64
+		for _, a := range atts {
+			orders = append(orders, a.Order)
+			a.OK = true
+		}
+		replayed = append(replayed, orders)
+	})
+	g.Begin(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer g.Leave()
+			for r := 0; r < rounds; r++ {
+				// Skew orders so the canonical order differs from worker
+				// order: worker w submits (rounds-r)*100 + w.
+				att := &Attempt{Order: uint64((rounds-r)*100 + w)}
+				g.Submit(att)
+				if !att.OK {
+					t.Errorf("worker %d round %d: verdict not delivered", w, r)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(replayed) != rounds {
+		t.Fatalf("got %d rounds, want %d", len(replayed), rounds)
+	}
+	for r, orders := range replayed {
+		if len(orders) != workers {
+			t.Fatalf("round %d: %d attempts, want %d", r, len(orders), workers)
+		}
+		for i := 1; i < len(orders); i++ {
+			if orders[i-1] >= orders[i] {
+				t.Fatalf("round %d: replay out of canonical order: %v", r, orders)
+			}
+		}
+	}
+}
+
+// TestGroupEarlyLeave retires workers at different rounds and checks the
+// remaining workers keep making progress: a departing worker must release
+// any round that was only waiting on it.
+func TestGroupEarlyLeave(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const workers = 6
+	var mu sync.Mutex
+	perRound := make(map[int]int)
+	g := NewGroup(func(atts []*Attempt) {
+		mu.Lock()
+		perRound[len(perRound)] = len(atts)
+		mu.Unlock()
+		for _, a := range atts {
+			a.OK = true
+		}
+	})
+	g.Begin(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer g.Leave()
+			// Worker w participates in w+1 rounds, so the live set shrinks
+			// by one each round.
+			for r := 0; r <= w; r++ {
+				g.Submit(&Attempt{Order: uint64(r*workers + w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(perRound) != workers {
+		t.Fatalf("got %d rounds, want %d", len(perRound), workers)
+	}
+	for r := 0; r < workers; r++ {
+		if perRound[r] != workers-r {
+			t.Fatalf("round %d: %d attempts, want %d", r, perRound[r], workers-r)
+		}
+	}
+}
+
+// TestGroupEmptyAttempts mixes nil-Data (abort wait-out) attempts with real
+// ones and checks both park until the same barrier.
+func TestGroupEmptyAttempts(t *testing.T) {
+	g := NewGroup(func(atts []*Attempt) {
+		for _, a := range atts {
+			a.OK = a.Data != nil
+		}
+	})
+	g.Begin(2)
+	done := make(chan *Attempt, 2)
+	go func() {
+		a := &Attempt{Order: 1, Data: "txn"}
+		g.Submit(a)
+		done <- a
+	}()
+	go func() {
+		a := &Attempt{Order: 2}
+		g.Submit(a)
+		done <- a
+	}()
+	a1, a2 := <-done, <-done
+	if a1.Data == nil {
+		a1, a2 = a2, a1
+	}
+	if !a1.OK || a2.OK {
+		t.Fatalf("verdicts: real=%v empty=%v, want true/false", a1.OK, a2.OK)
+	}
+	g.Leave()
+	g.Leave()
+}

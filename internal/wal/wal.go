@@ -113,6 +113,13 @@ type Window struct {
 	// Owned by the same worker goroutine as the window (single-writer); nil
 	// when tracing is off, so the fast path pays one pointer test.
 	tr *obs.WorkerTracer
+	// scratch is the window's reusable header buffer. Headers must be
+	// written and parsed as multi-word images (one simulated store or load),
+	// so the word-at-a-time Space helpers do not apply; a stack buffer
+	// heap-escapes through the Space interface on every call. Safe to share
+	// across Begin/Commit/appendOp/ReadOp because the window is single-owner
+	// like the rest of its state.
+	scratch [32]byte
 }
 
 // SetTrace arms (or with nil, disarms) trace-event capture on the window.
@@ -135,9 +142,8 @@ func (w *Window) ResetStats() { w.stats = obs.WALStats{} }
 func NewWindow(space pmem.Space, base uint64, cfg Config) *Window {
 	cfg = cfg.withDefaults()
 	w := &Window{space: space, base: base, cfg: cfg}
-	var zero [8]byte
 	for i := 0; i < cfg.Slots; i++ {
-		space.BulkWrite(w.slotOff(i)+hdrState, zero[:])
+		space.BulkWriteU64(w.slotOff(i)+hdrState, 0)
 	}
 	return w
 }
@@ -178,7 +184,8 @@ func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
 		w.tr.Instant(obs.EvWALClaim, clk.Nanos(), uint64(i), wr)
 	}
 	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
-	var hdr [32]byte
+	hdr := &w.scratch
+	*hdr = [32]byte{}
 	binary.LittleEndian.PutUint64(hdr[hdrState:], StateUncommitted)
 	binary.LittleEndian.PutUint64(hdr[hdrTID:], tid)
 	// nops/len/extlen/crc cleared; written at commit.
@@ -212,9 +219,7 @@ func (l *TxnLog) Full() bool { return l.full }
 // TID returns the owning transaction id (read back from the header line —
 // a cache hit).
 func (l *TxnLog) TID(clk *sim.Clock) uint64 {
-	var b [8]byte
-	l.w.space.Read(clk, l.w.slotOff(l.slot)+hdrTID, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	return l.w.space.ReadU64(clk, l.w.slotOff(l.slot)+hdrTID)
 }
 
 // append writes raw bytes at the log cursor, spilling to overflow as needed.
@@ -255,14 +260,15 @@ func (l *TxnLog) append(clk *sim.Clock, b []byte) int {
 // when the window (including overflow) is exhausted. Data may be nil
 // (deletes).
 func (l *TxnLog) appendOp(clk *sim.Clock, typ, table uint8, slot, key uint64, off int, data []byte) int {
-	var hdr [opHdrBytes]byte
+	hdr := l.w.scratch[:opHdrBytes]
 	hdr[0] = typ
 	hdr[1] = table
+	hdr[2], hdr[3] = 0, 0 // reserved bytes: the buffer is reused, keep them zero
 	binary.LittleEndian.PutUint64(hdr[4:], slot)
 	binary.LittleEndian.PutUint64(hdr[12:], key)
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(off))
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(data)))
-	pos := l.append(clk, hdr[:])
+	pos := l.append(clk, hdr)
 	if pos < 0 {
 		return -1
 	}
@@ -309,16 +315,14 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 	// store: nops, slot length, overflow length, then the CRC finalized over
 	// those three words — so a torn or flipped count word is caught by the
 	// same checksum that protects the payload.
-	var cnt [16]byte
+	cnt := l.w.scratch[:16]
 	binary.LittleEndian.PutUint32(cnt[0:], uint32(l.nops))
 	binary.LittleEndian.PutUint32(cnt[4:], uint32(l.pos-hdrBytes))
 	binary.LittleEndian.PutUint32(cnt[8:], uint32(l.extPos))
 	binary.LittleEndian.PutUint32(cnt[12:], crc32.Update(l.crc, crc32.IEEETable, cnt[0:12]))
-	l.w.space.Write(clk, base+hdrNops, cnt[:])
+	l.w.space.Write(clk, base+hdrNops, cnt)
 
-	var st [8]byte
-	binary.LittleEndian.PutUint64(st[:], StateCommitted)
-	l.w.space.Write(clk, base+hdrState, st[:])
+	l.w.space.WriteU64(clk, base+hdrState, StateCommitted)
 	l.w.space.SFence(clk)
 
 	if l.w.cfg.Flush || l.extPos > 0 {
@@ -348,9 +352,7 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 // Abort releases the slot without publishing (state back to FREE).
 func (l *TxnLog) Abort(clk *sim.Clock) {
 	l.w.stats.Aborts++
-	var st [8]byte
-	binary.LittleEndian.PutUint64(st[:], StateFree)
-	l.w.space.Write(clk, l.w.slotOff(l.slot)+hdrState, st[:])
+	l.w.space.WriteU64(clk, l.w.slotOff(l.slot)+hdrState, StateFree)
 	l.w.space.SFence(clk)
 }
 
@@ -369,7 +371,7 @@ type Op struct {
 // the window (cache hits).
 func (l *TxnLog) ReadOp(clk *sim.Clock, pos int) (Op, int) {
 	r := recordReader{space: l.w.space, slotOff: l.w.slotOff(l.slot), ovfOff: l.w.ovfOff(l.slot),
-		slotCap: l.w.cfg.SlotBytes - hdrBytes}
+		slotCap: l.w.cfg.SlotBytes - hdrBytes, scratch: &l.w.scratch}
 	return r.readOp(clk, pos)
 }
 
@@ -389,6 +391,9 @@ type recordReader struct {
 	ovfOff  uint64
 	slotCap int // payload bytes that fit in the slot region
 	crc     *uint32
+	// scratch receives op headers; the caller provides a long-lived buffer
+	// so each parsed op does not heap-allocate one (see Window.scratch).
+	scratch *[32]byte
 }
 
 func (r recordReader) read(clk *sim.Clock, pos int, dst []byte) {
@@ -424,8 +429,8 @@ func (r recordReader) readOpBounded(clk *sim.Clock, pos, limit int) (op Op, next
 	if pos+opHdrBytes > limit {
 		return Op{}, pos, false
 	}
-	var hdr [opHdrBytes]byte
-	r.read(clk, pos, hdr[:])
+	hdr := r.scratch[:opHdrBytes]
+	r.read(clk, pos, hdr)
 	op = Op{
 		Type:  hdr[0],
 		Table: hdr[1],
@@ -501,7 +506,7 @@ func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]R
 		}
 		total := slotLen + extLen
 		crc := crc32.Update(0, crc32.IEEETable, hdr[hdrTID:hdrTID+8])
-		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: slotCap, crc: &crc}
+		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: slotCap, crc: &crc, scratch: &w.scratch}
 		rec := Record{TID: tid, State: state}
 		pos, torn := 0, false
 		for k := 0; k < nops; k++ {
@@ -536,9 +541,8 @@ func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]R
 // Reset reformats the window's slot states to FREE through the cache
 // (post-recovery reuse; BulkWrite would go stale against resident lines).
 func (w *Window) Reset(clk *sim.Clock) {
-	var zero [8]byte
 	for i := 0; i < w.cfg.Slots; i++ {
-		w.space.Write(clk, w.slotOff(i)+hdrState, zero[:])
+		w.space.WriteU64(clk, w.slotOff(i)+hdrState, 0)
 	}
 	w.space.SFence(clk)
 	w.cur = 0

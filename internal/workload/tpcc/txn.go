@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"falcon/internal/core"
+	"falcon/internal/heap"
+	"falcon/internal/sim"
 )
 
 // Driver issues TPC-C transactions. One Driver serves all workers.
@@ -16,8 +18,9 @@ type Driver struct {
 	warehouse, district, customer, history  *core.Table
 	newOrder, order, orderLine, item, stock *core.Table
 	workers                                 []tpccWorker
-	hseq                                    atomic.Uint64
-	clock                                   atomic.Int64 // logical date
+	// hbase is the first free history key at attach time; fresh keys are
+	// drawn from per-worker interleaved sequences above it (see nextHKey).
+	hbase uint64
 
 	// per-type commit counters for mix verification and reporting
 	counts [5]atomic.Uint64
@@ -25,6 +28,8 @@ type Driver struct {
 
 type tpccWorker struct {
 	rng  uint64
+	dseq uint64 // logical-date draws by this worker
+	hseq uint64 // history-key draws by this worker
 	cbuf []byte // customer scratch
 	obuf []byte
 	sbuf []byte
@@ -65,8 +70,7 @@ func NewDriver(e *core.Engine, cfg Config) (*Driver, error) {
 			return nil, fmt.Errorf("tpcc: table %q missing", bind.name)
 		}
 	}
-	d.hseq.Store(historyFrontier(e, d.history))
-	d.clock.Store(2)
+	d.hbase = historyFrontier(e, d.history)
 	d.workers = make([]tpccWorker, e.Config().Threads)
 	for w := range d.workers {
 		ws := &d.workers[w]
@@ -77,6 +81,27 @@ func NewDriver(e *core.Engine, cfg Config) (*Driver, error) {
 		ws.dbuf = make([]byte, d.district.Schema().TupleSize())
 	}
 	return d, nil
+}
+
+// nextDate returns a fresh logical date. Dates come from per-worker
+// interleaved sequences (worker w draws w, w+T, w+2T, ... above the load
+// epoch) rather than a shared counter: the values a worker stamps into
+// tuples are then a pure function of that worker's own history, which the
+// deterministic group scheduler requires for schedule-independent results.
+func (d *Driver) nextDate(w int) int64 {
+	ws := &d.workers[w]
+	v := int64(3) + int64(ws.dseq*uint64(len(d.workers))+uint64(w))
+	ws.dseq++
+	return v
+}
+
+// nextHKey returns a fresh history primary key, unique across workers
+// (disjoint residues mod the worker count) and schedule-independent.
+func (d *Driver) nextHKey(w int) uint64 {
+	ws := &d.workers[w]
+	v := d.hbase + ws.hseq*uint64(len(d.workers)) + uint64(w)
+	ws.hseq++
+	return v
 }
 
 // splitmixSeed finalizes a seed into a well-mixed generator state.
@@ -212,7 +237,7 @@ func (d *Driver) NewOrderTxn(w int) error {
 		}
 		lines[i] = line{item: it, supply: supply, qty: int64(d.randN(w, 10) + 1), remote: remote}
 	}
-	date := d.clock.Add(1)
+	date := d.nextDate(w)
 
 	return d.e.Run(w, func(tx *core.Txn) error {
 		ws := &d.workers[w]
@@ -352,8 +377,8 @@ func (d *Driver) PaymentTxn(w int) error {
 	} else {
 		cid = d.nuRand(w, 1023, 1, d.cfg.CustomersPerDistrict)
 	}
-	date := d.clock.Add(1)
-	hkey := d.hseq.Add(1)
+	date := d.nextDate(w)
+	hkey := d.nextHKey(w)
 
 	return d.e.Run(w, func(tx *core.Txn) error {
 		ws := &d.workers[w]
@@ -510,7 +535,7 @@ func (d *Driver) OrderStatusTxn(w int) error {
 func (d *Driver) DeliveryTxn(w int) error {
 	home := d.homeWarehouse(w)
 	carrier := int64(d.randN(w, 10) + 1)
-	date := d.clock.Add(1)
+	date := d.nextDate(w)
 
 	for did := 1; did <= Districts; did++ {
 		did := did
@@ -615,20 +640,28 @@ func (d *Driver) StockLevelTxn(w int) error {
 		}
 		ols := d.orderLine.Schema()
 		seen := make(map[int64]struct{}, 64)
+		items := make([]int64, 0, 64)
 		olPrefix := olKeyPrefix(home, did, firstO)
 		limit := olKeyPrefix(home, did, nextO)
 		if _, err := tx.Scan(d.orderLine, olPrefix, 0, func(k uint64, payload []byte) bool {
 			if k >= limit {
 				return false
 			}
-			seen[ols.GetInt64(payload, OLIID)] = struct{}{}
+			item := ols.GetInt64(payload, OLIID)
+			if _, dup := seen[item]; !dup {
+				seen[item] = struct{}{}
+				items = append(items, item)
+			}
 			return true
 		}); err != nil {
 			return err
 		}
+		// Probe stock in scan order, not map order: ranging over the map
+		// would issue the reads in Go's randomized iteration order, making
+		// the simulated cache walk differ between identical runs.
 		low := 0
 		var q [8]byte
-		for item := range seen {
+		for _, item := range items {
 			if err := tx.ReadField(d.stock, sKey(home, int(item)), SQuantity, q[:]); err != nil {
 				return err
 			}
@@ -641,33 +674,23 @@ func (d *Driver) StockLevelTxn(w int) error {
 	})
 }
 
-// historyFrontier finds the first unused history key, so a driver attached
-// to a recovered database continues the sequence instead of colliding.
+// historyFrontier finds the first history key above every existing one, so a
+// driver attached to a recovered database continues the sequence instead of
+// colliding. Per-worker interleaved key draws leave holes when workers commit
+// unevenly, so this scans for the maximum rather than binary-searching a
+// dense range.
 func historyFrontier(e *core.Engine, hist *core.Table) uint64 {
-	exists := func(k uint64) bool {
-		var b [8]byte
-		err := e.RunRO(0, func(tx *core.Txn) error {
-			return tx.ReadField(hist, k, HKey, b[:])
-		})
-		return err == nil
-	}
-	if !exists(1) {
-		return 1
-	}
-	hi := uint64(1)
-	for exists(hi) {
-		hi *= 2
-	}
-	lo := hi / 2 // exists
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		if exists(mid) {
-			lo = mid
-		} else {
-			hi = mid
+	s := hist.Schema()
+	var max uint64
+	hist.Heap().Scan(sim.NewClock(), func(slot, ts uint64, flags uint8, payload []byte) {
+		if flags&heap.FlagOccupied == 0 || flags&heap.FlagDeleted != 0 {
+			return
 		}
-	}
-	return hi
+		if k := s.GetUint64(payload, HKey); k > max {
+			max = k
+		}
+	})
+	return max + 1
 }
 
 func putI64(b []byte, v int64) {

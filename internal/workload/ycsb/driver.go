@@ -2,7 +2,6 @@ package ycsb
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"falcon/internal/core"
 )
@@ -14,13 +13,15 @@ type Driver struct {
 	e       *core.Engine
 	tbl     *core.Table
 	workers []workerState
-	// nextInsert allocates fresh keys for workloads D and E.
-	nextInsert atomic.Uint64
 }
 
 type workerState struct {
-	zipf    *zipfGen
-	rng     uint64
+	zipf *zipfGen
+	rng  uint64
+	// insSeq counts this worker's key draws for workloads D and E: fresh
+	// keys come from per-worker interleaved sequences above cfg.Records
+	// (schedule-independent, unlike a shared counter).
+	insSeq  uint64
 	buf     []byte
 	fullVal []byte
 	_       [4]uint64
@@ -35,7 +36,6 @@ func NewDriver(e *core.Engine, cfg Config) (*Driver, error) {
 		return nil, fmt.Errorf("ycsb: table %q missing", TableName)
 	}
 	d := &Driver{cfg: cfg, e: e, tbl: tbl}
-	d.nextInsert.Store(cfg.Records)
 	d.workers = make([]workerState, e.Config().Threads)
 	s := tbl.Schema()
 	for w := range d.workers {
@@ -163,14 +163,15 @@ func (d *Driver) doRMW(w int) error {
 }
 
 func (d *Driver) doReadLatest(w int) error {
-	// Read keys near the insertion frontier.
-	limit := d.nextInsert.Load()
+	// Read keys near this worker's own insertion frontier (reads on not-yet
+	// inserted keys from other workers' residues count as served requests).
+	ws := &d.workers[w]
+	limit := d.cfg.Records + ws.insSeq*uint64(len(d.workers))
 	span := uint64(1000)
 	if limit < span {
 		span = limit
 	}
 	key := limit - 1 - d.rand(w)%span
-	ws := &d.workers[w]
 	return d.e.RunRO(w, func(tx *core.Txn) error {
 		err := tx.Read(d.tbl, key, ws.buf)
 		if err == core.ErrNotFound {
@@ -181,8 +182,9 @@ func (d *Driver) doReadLatest(w int) error {
 }
 
 func (d *Driver) doInsert(w int) error {
-	key := d.nextInsert.Add(1) - 1
 	ws := &d.workers[w]
+	key := d.cfg.Records + ws.insSeq*uint64(len(d.workers)) + uint64(w)
+	ws.insSeq++
 	s := d.tbl.Schema()
 	fillTuple(s, ws.buf, key, d.cfg)
 	return d.e.Run(w, func(tx *core.Txn) error {

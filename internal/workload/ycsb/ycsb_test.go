@@ -140,13 +140,20 @@ func TestInsertsGrowTable(t *testing.T) {
 		}
 	}
 	// Frontier beyond the initial records implies inserts landed.
-	if d.nextInsert.Load() == cfg.Records {
+	var frontier uint64
+	stride := uint64(len(d.workers))
+	for w := range d.workers {
+		if end := cfg.Records + d.workers[w].insSeq*stride + uint64(w); d.workers[w].insSeq > 0 && end > frontier {
+			frontier = end
+		}
+	}
+	if frontier == 0 {
 		t.Skip("mix produced no inserts in 200 draws (unlikely)")
 	}
 	tbl := e.Table(TableName)
 	buf := make([]byte, tbl.Schema().TupleSize())
 	found := false
-	for k := cfg.Records; k < d.nextInsert.Load(); k++ {
+	for k := cfg.Records; k < frontier; k++ {
 		if err := e.RunRO(0, func(tx *core.Txn) error { return tx.Read(tbl, k, buf) }); err == nil {
 			found = true
 			break
