@@ -34,8 +34,12 @@ sweep:
 
 # Regenerate the phase-share tables in EXPERIMENTS.md from a fresh Figure-11
 # sweep (the marker-delimited generated section; hand-written text survives).
+# Regenerate the EXPERIMENTS.md phase-share tables: the per-commit baseline
+# grid, then the same grid through leader-based group commit (its own marker
+# section, so the two render side by side for the log+flush comparison).
 phase-tables:
 	go run ./cmd/falcon-sweep -md EXPERIMENTS.md
+	go run ./cmd/falcon-sweep -md EXPERIMENTS.md -groupcommit
 
 # Produce a tiny trace and validate it against the Chrome trace-event schema
 # (same lane CI runs).

@@ -40,6 +40,10 @@ type Run struct {
 	// free-running mode. The two modes are different simulated machines, so
 	// entries are only comparable to entries with the same setting.
 	WorkerPar bool `json:"worker_par,omitempty"`
+	// GroupCommit records whether the timed cells committed through
+	// leader-based group commit (-groupcommit). Like WorkerPar, entries are
+	// only comparable to entries with the same setting.
+	GroupCommit bool `json:"group_commit,omitempty"`
 	// Host nanoseconds per simulated 64 B operation (32 MiB working set on
 	// a 64 MiB device — miss-heavy, the expensive path).
 	PmemStore64Ns   float64 `json:"pmem_store64_ns"`
@@ -64,8 +68,16 @@ type Baseline struct {
 }
 
 // parWorkers is set by -parworkers: timed cells run their workers through
-// the deterministic group scheduler.
-var parWorkers bool
+// the deterministic group scheduler. gf carries the shared -groupcommit
+// knobs, applied to every timed cell's engine config.
+var (
+	parWorkers bool
+	gf         bench.GroupFlag
+)
+
+// gridRegressionLimit is the -check gate: the run fails when grid_s exceeds
+// the comparable baseline entry by more than this factor.
+const gridRegressionLimit = 1.10
 
 func main() {
 	out := flag.String("out", "BENCH_hostperf.json", "baseline file to append this run to")
@@ -74,19 +86,27 @@ func main() {
 	par := flag.Int("par", 0, "concurrent grid cells (0 = GOMAXPROCS)")
 	procs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before timing (0 = leave as-is); the effective value is recorded in the run entry")
 	flag.BoolVar(&parWorkers, "parworkers", false, "run the timed cells' workers through the deterministic group scheduler; recorded per entry as worker_par")
+	check := flag.Bool("check", false, "regression gate: compare this run's grid_s against the baseline's first comparable gridded entry and exit 1 on a >10% regression; the run is not appended to the baseline")
+	gf.Register()
 	var tf bench.TraceFlag
 	tf.Register()
 	flag.Parse()
+
+	if *check && *quick {
+		fmt.Fprintln(os.Stderr, "-check needs the full Figure-11 grid; drop -quick")
+		os.Exit(2)
+	}
 
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
 	r := Run{
-		Label:      *label,
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Quick:      *quick,
-		WorkerPar:  parWorkers,
+		Label:       *label,
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       *quick,
+		WorkerPar:   parWorkers,
+		GroupCommit: gf.Enable,
 	}
 	if r.Label == "" {
 		r.Label = "hostbench-" + r.Date
@@ -114,13 +134,29 @@ func main() {
 
 	base := load(*out)
 	if r.GridS > 0 {
+		// The comparison baseline is the file's first gridded entry with the
+		// same worker-scheduler and commit-path settings (different settings
+		// time different machines).
 		for _, prev := range base.Runs {
-			if prev.GridS > 0 {
+			if prev.GridS > 0 && prev.WorkerPar == r.WorkerPar && prev.GroupCommit == r.GroupCommit {
 				r.GridSpeedupVsBase = prev.GridS / r.GridS
 				fmt.Printf("grid speedup vs %q: %.2fx\n", prev.Label, r.GridSpeedupVsBase)
+				if *check && r.GridS > prev.GridS*gridRegressionLimit {
+					fmt.Fprintf(os.Stderr, "check: grid_s %.2fs regressed more than %.0f%% vs baseline %q (%.2fs)\n",
+						r.GridS, (gridRegressionLimit-1)*100, prev.Label, prev.GridS)
+					os.Exit(1)
+				}
 				break
 			}
 		}
+	}
+	if *check {
+		if r.GridSpeedupVsBase == 0 {
+			fmt.Fprintf(os.Stderr, "check: no comparable gridded baseline in %s; nothing to gate against\n", *out)
+		} else {
+			fmt.Println("check: grid_s within the regression limit")
+		}
+		return
 	}
 	base.Runs = append(base.Runs, r)
 	save(*out, base)
@@ -141,7 +177,7 @@ func main() {
 // outside any timed section.
 func tracedCell(tf *bench.TraceFlag) {
 	const workers, txns, warmup = 8, 600, 150
-	cfg := core.FalconConfig()
+	cfg := gf.Apply(core.FalconConfig())
 	cfg.Threads = workers
 	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
 	if err == nil {
@@ -264,7 +300,7 @@ func best3(f func() (float64, float64, float64)) (a, b, c float64) {
 
 func ycsbCell() (seconds, nsPerTxn float64) {
 	const workers, txns, warmup = 8, 600, 150
-	cfg := core.FalconConfig()
+	cfg := gf.Apply(core.FalconConfig())
 	cfg.Threads = workers
 	start := time.Now()
 	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
@@ -326,7 +362,7 @@ func fig11Grid(par int) float64 {
 	for _, wl := range workloads {
 		for _, ecfg := range bench.AblationConfigs() {
 			for _, th := range threads {
-				wlRun, eng, t := wl.run, ecfg, th
+				wlRun, eng, t := wl.run, gf.Apply(ecfg), th
 				cells = append(cells, bench.Cell{
 					Label: fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, t),
 					Run: func() (*bench.Result, error) {

@@ -33,6 +33,7 @@ func main() {
 	mode := flag.String("mode", "", "restrict the crash matrix to one persistence mode: eadr or adr")
 	traceDir := flag.String("trace-dir", "", "with -faults: write each failing seed's pre-crash Chrome trace into this directory")
 	tf.Register()
+	gf.Register()
 	flag.Parse()
 
 	if *faults > 0 {
@@ -41,6 +42,9 @@ func main() {
 
 	recordCounts := []uint64{20_000, 50_000, 100_000, 200_000}
 	engines := []core.Config{core.FalconConfig(), core.FalconDRAMIndexConfig(), core.InpConfig(), core.ZenSConfig()}
+	for i := range engines {
+		engines[i] = gf.Apply(engines[i])
+	}
 
 	fmt.Printf("Recovery time (virtual ms) vs data size, %d threads\n", *threads)
 	fmt.Printf("%-24s", "engine")
@@ -88,7 +92,12 @@ func main() {
 
 // tf carries the shared -trace flags; in the recovery study it captures the
 // pre-crash workload of each cell (the crash matrix uses -trace-dir instead).
-var tf bench.TraceFlag
+// gf flips the recovery-study engines into group commit; the crash matrix
+// carries its own group-commit cells instead.
+var (
+	tf bench.TraceFlag
+	gf bench.GroupFlag
+)
 
 // runCrashMatrix runs the seeded crash-consistency matrix and returns the
 // process exit code (1 if any cell had an oracle violation).
@@ -110,8 +119,8 @@ func runCrashMatrix(faults int, firstSeed uint64, preset, mode, traceDir string)
 
 	fmt.Printf("Crash-consistency matrix: %d seeded crashes per cell, seeds %d..%d\n\n",
 		faults, firstSeed, firstSeed+uint64(faults)-1)
-	fmt.Printf("%-22s %-5s %7s %8s %6s %8s %9s %10s  %s\n",
-		"preset", "mode", "oracle", "crashes", "torn", "corrupt", "det.torn", "det.corr", "verdict")
+	fmt.Printf("%-22s %-5s %7s %8s %6s %8s %9s %10s %8s  %s\n",
+		"preset", "mode", "oracle", "crashes", "torn", "corrupt", "det.torn", "det.corr", "dropped", "verdict")
 
 	exit := 0
 	for _, cell := range cells {
@@ -125,9 +134,10 @@ func runCrashMatrix(faults int, firstSeed uint64, preset, mode, traceDir string)
 			verdict = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
 			exit = 1
 		}
-		fmt.Printf("%-22s %-5s %7s %8d %6d %8d %9d %10d  %s\n",
+		fmt.Printf("%-22s %-5s %7s %8d %6d %8d %9d %10d %8d  %s\n",
 			cell.Config.Name, crashtest.ModeName(cell.Mode), oracle,
-			res.Crashes, res.Torn, res.Corrupt, res.DetectedTorn, res.DetectedCorrupt, verdict)
+			res.Crashes, res.Torn, res.Corrupt, res.DetectedTorn, res.DetectedCorrupt,
+			res.DroppedUnsealed, verdict)
 		for _, v := range res.Violations {
 			fmt.Printf("    seed %d: %s\n      repro: %s\n", v.Seed, v.Detail, cell.Repro(v.Seed))
 			if v.TracePath != "" {

@@ -42,6 +42,7 @@ func main() {
 	streamPath := flag.String("stream", "", "stream per-epoch snapshots as JSON lines to this file while cells run")
 	flag.IntVar(&streamEvery, "stream-every", 200, "with -stream: epoch size in transactions per worker")
 	tf.Register()
+	gf.Register()
 	flag.Parse()
 
 	if *streamPath != "" {
@@ -76,6 +77,7 @@ var showStats bool
 // before any cell runs.
 var (
 	tf          bench.TraceFlag
+	gf          bench.GroupFlag
 	mdPath      string
 	streamW     *bench.StreamWriter
 	streamEvery int
@@ -110,7 +112,9 @@ func collectCell(label string, res *bench.Result) {
 }
 
 // writeMD splices the phase-share tables derived from the finished grid into
-// the -md target.
+// the -md target. A -groupcommit sweep writes its own marker section, so the
+// file keeps the per-commit baseline and the group-commit tables side by
+// side — the before/after comparison reads off the log+flush column.
 func writeMD(meta []jsonCell) {
 	if mdPath == "" {
 		return
@@ -122,11 +126,18 @@ func writeMD(meta []jsonCell) {
 			Threads: m.Threads, Extra: m.Extra, Result: m.Result,
 		})
 	}
-	if err := bench.SpliceMarkdown(mdPath, "phase-shares", bench.PhaseShareMarkdown(grid)); err != nil {
+	marker := "phase-shares"
+	if gf.Enable {
+		marker = "phase-shares-groupcommit"
+	}
+	if err := bench.SpliceMarkdown(mdPath, marker, bench.PhaseShareMarkdown(grid)); err != nil {
 		fmt.Fprintln(os.Stderr, "md export:", err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "phase-share tables spliced into %s\n", mdPath)
+	fmt.Fprintf(os.Stderr, "phase-share tables spliced into %s (%s)\n", mdPath, marker)
+	if gf.Enable {
+		return // the host-speedup table below is grid-independent; one copy suffices
+	}
 
 	// The host-speedup table times its own worker-parallel cell at each
 	// GOMAXPROCS setting; it is independent of the grid just swept.
@@ -205,6 +216,9 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 	// Build the full grid as isolated cells (workload-major, engine, thread —
 	// the same order the tables render in), run them, then render.
 	engines := bench.AblationConfigs()
+	for i := range engines {
+		engines[i] = gf.Apply(engines[i])
+	}
 	var cells []bench.Cell
 	var meta []jsonCell
 	for _, wl := range workloads {
@@ -288,6 +302,9 @@ func ycsbRunner(records uint64, dist ycsb.Distribution, txns, warmup int) func(c
 func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 	sizes := []int{256, 1024, 4096, 16 << 10, 64 << 10}
 	engines := []core.Config{core.FalconConfig(), core.InpConfig(), core.OutpConfig()}
+	for i := range engines {
+		engines[i] = gf.Apply(engines[i])
+	}
 	if len(threads) > 2 {
 		threads = []int{threads[1], threads[len(threads)-1]}
 	}

@@ -25,6 +25,7 @@ func main() {
 	algos := flag.String("cc", "", "comma-free CC filter, e.g. OCC (default: all six)")
 	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per engine × CC cell")
 	tf.Register()
+	gf.Register()
 	flag.Parse()
 
 	if *warehouses == 0 {
@@ -92,8 +93,12 @@ func main() {
 // after its table row.
 var showStats bool
 
-// tf carries the shared -trace flags for both figure modes.
-var tf bench.TraceFlag
+// tf carries the shared -trace flags for both figure modes; gf the shared
+// -groupcommit knobs.
+var (
+	tf bench.TraceFlag
+	gf bench.GroupFlag
+)
 
 func traceDone() {
 	if err := tf.Write(); err != nil {
@@ -103,6 +108,7 @@ func traceDone() {
 }
 
 func runOne(ecfg core.Config, algo cc.Algo, wcfg tpcc.Config, opts bench.Options) (*bench.Result, error) {
+	ecfg = gf.Apply(ecfg)
 	ecfg.Threads = opts.Workers
 	ecfg.CC = algo
 	e, d, err := bench.NewTPCC(ecfg, wcfg)

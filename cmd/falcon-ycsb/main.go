@@ -23,7 +23,9 @@ func main() {
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
 	stats := flag.Bool("stats", false, "print an observability snapshot per engine × workload cell")
 	var tf bench.TraceFlag
+	var gf bench.GroupFlag
 	tf.Register()
+	gf.Register()
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -47,6 +49,7 @@ func main() {
 	fmt.Println()
 
 	for _, ecfg := range bench.EngineConfigs() {
+		ecfg = gf.Apply(ecfg)
 		ecfg.Threads = *threads
 		ecfg.CC = cc.OCC
 		fmt.Printf("%-24s", ecfg.Name)

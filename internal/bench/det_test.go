@@ -13,11 +13,15 @@ import (
 )
 
 // runParYCSB runs a fixed seeded YCSB-A cell through the deterministic group
-// scheduler and returns the full Result serialized as JSON.
-func runParYCSB(t *testing.T, procs int) []byte {
+// scheduler and returns the full Result serialized as JSON. With group set,
+// the engine commits through leader-based group commit — epoch seals then
+// ride the round barrier's canonical commit-tail order, which is exactly the
+// mechanism these tests must pin down.
+func runParYCSB(t *testing.T, procs int, group bool) []byte {
 	t.Helper()
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 	ecfg := core.FalconConfig()
+	ecfg.GroupCommit = group
 	ecfg.Threads = 4
 	e, d, err := NewYCSB(ecfg, ycsb.Config{Records: 2000, Fields: 4, FieldBytes: 32, Workload: ycsb.A})
 	if err != nil {
@@ -37,10 +41,11 @@ func runParYCSB(t *testing.T, procs int) []byte {
 
 // runParTPCC is runParYCSB's TPC-C sibling: the full five-transaction mix,
 // including inserts, deletes and scans, through the group scheduler.
-func runParTPCC(t *testing.T, procs int) []byte {
+func runParTPCC(t *testing.T, procs int, group bool) []byte {
 	t.Helper()
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
 	ecfg := core.FalconConfig()
+	ecfg.GroupCommit = group
 	ecfg.Threads = 4
 	e, d, err := NewTPCC(ecfg, tpcc.Config{Warehouses: 2, Items: 200, CustomersPerDistrict: 30})
 	if err != nil {
@@ -66,20 +71,29 @@ func runParTPCC(t *testing.T, procs int) []byte {
 // byte-identical whether the host runs the workers on one core or four, for
 // both YCSB-A and TPC-C.
 func TestParWorkersDeterministicJSON(t *testing.T) {
-	t.Run("YCSB-A", func(t *testing.T) {
-		serial := runParYCSB(t, 1)
-		par := runParYCSB(t, 4)
-		if string(serial) != string(par) {
-			t.Fatalf("YCSB-A JSON differs across GOMAXPROCS:\n 1: %s\n 4: %s", serial, par)
+	for _, group := range []bool{false, true} {
+		name := func(s string) string {
+			if group {
+				return s + "+GC"
+			}
+			return s
 		}
-	})
-	t.Run("TPC-C", func(t *testing.T) {
-		serial := runParTPCC(t, 1)
-		par := runParTPCC(t, 4)
-		if string(serial) != string(par) {
-			t.Fatalf("TPC-C JSON differs across GOMAXPROCS:\n 1: %s\n 4: %s", serial, par)
-		}
-	})
+		group := group
+		t.Run(name("YCSB-A"), func(t *testing.T) {
+			serial := runParYCSB(t, 1, group)
+			par := runParYCSB(t, 4, group)
+			if string(serial) != string(par) {
+				t.Fatalf("YCSB-A JSON differs across GOMAXPROCS:\n 1: %s\n 4: %s", serial, par)
+			}
+		})
+		t.Run(name("TPC-C"), func(t *testing.T) {
+			serial := runParTPCC(t, 1, group)
+			par := runParTPCC(t, 4, group)
+			if string(serial) != string(par) {
+				t.Fatalf("TPC-C JSON differs across GOMAXPROCS:\n 1: %s\n 4: %s", serial, par)
+			}
+		})
+	}
 }
 
 // TestRunCancelsPhaseOnWorkerError pins down the prompt-abort contract: when
@@ -155,7 +169,10 @@ func TestRunCancelsPhaseOnWorkerError(t *testing.T) {
 // determinism claim behind falcon-sweep's -parworkers flag.
 func TestSweepCellsDeterministicAcrossPar(t *testing.T) {
 	grid := func(par int) []byte {
-		configs := []core.Config{core.FalconConfig(), core.InpConfig()}
+		gcfg := core.FalconConfig()
+		gcfg.GroupCommit = true
+		gcfg.Name += "+GC"
+		configs := []core.Config{core.FalconConfig(), core.InpConfig(), gcfg}
 		var cells []Cell
 		for _, ecfg := range configs {
 			ecfg := ecfg

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+
+	"falcon/internal/core"
+	"falcon/internal/wal"
+)
+
+// GroupFlag is the shared -groupcommit / -epochns wiring used by the cmd
+// tools: Register installs the flags, Apply rewrites an engine config to
+// commit through leader-based group commit (durability epochs with coalesced
+// flush trains). Out-of-place engines have no redo log to coalesce and are
+// left untouched (core.Config.withDefaults clears the knob for them anyway).
+type GroupFlag struct {
+	// Enable is set by -groupcommit.
+	Enable bool
+	// EpochNs is set by -epochns; 0 selects wal.DefaultEpochNanos.
+	EpochNs uint64
+}
+
+// Register installs -groupcommit and -epochns on the default flag set.
+func (f *GroupFlag) Register() {
+	flag.BoolVar(&f.Enable, "groupcommit", false,
+		"commit in-place engines through leader-based group commit: transactions ack at the publish point and a lazy epoch leader seals durability epochs with coalesced flush trains")
+	flag.Uint64Var(&f.EpochNs, "epochns", 0,
+		fmt.Sprintf("with -groupcommit: durability epoch length in virtual nanoseconds, the bound on group-commit stalls (0 = default %d)", wal.DefaultEpochNanos))
+}
+
+// Apply returns cfg rewritten per the flags. In-place engines gain a "+GC"
+// name suffix so result tables and trace labels distinguish the commit path.
+func (f *GroupFlag) Apply(cfg core.Config) core.Config {
+	if !f.Enable {
+		return cfg
+	}
+	cfg.GroupCommit = true
+	cfg.GroupEpochNanos = f.EpochNs
+	if cfg.Update == core.InPlace {
+		cfg.Name += "+GC"
+	}
+	return cfg
+}

@@ -14,7 +14,7 @@ import (
 // thing recovery reads. Writes go through the simulated cache (durable under
 // persistent cache; explicitly flushed otherwise) at creation time only.
 
-const catalogMagic = 0xFA1C0CA7_00000002
+const catalogMagic = 0xFA1C0CA7_00000003
 
 type catalogTable struct {
 	name         string
@@ -35,6 +35,7 @@ type catalogImage struct {
 	windowOverflow               int
 	windowFlush                  bool
 	windowBase, markerBase       uint64
+	epochBase                    uint64
 	tables                       []catalogTable
 }
 
@@ -53,6 +54,7 @@ func (e *Engine) writeCatalog(clk *sim.Clock) error {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.cfg.Window.OverflowBytes))
 	buf = binary.LittleEndian.AppendUint64(buf, e.windowBase)
 	buf = binary.LittleEndian.AppendUint64(buf, e.markerBase)
+	buf = binary.LittleEndian.AppendUint64(buf, e.epochBase)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.tables)))
 	for _, t := range e.tables {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.name)))
@@ -112,6 +114,8 @@ func readCatalog(space interface {
 	img.windowBase = binary.LittleEndian.Uint64(buf[pos:])
 	pos += 8
 	img.markerBase = binary.LittleEndian.Uint64(buf[pos:])
+	pos += 8
+	img.epochBase = binary.LittleEndian.Uint64(buf[pos:])
 	pos += 8
 	ntables := int(binary.LittleEndian.Uint16(buf[pos:]))
 	pos += 2

@@ -8,6 +8,7 @@ import (
 	"falcon/internal/cc"
 	"falcon/internal/index"
 	"falcon/internal/obs"
+	"falcon/internal/pmem"
 	"falcon/internal/sim"
 	"falcon/internal/wal"
 )
@@ -66,16 +67,55 @@ func (tx *Txn) commitInPlace() error {
 func (tx *Txn) commitInPlaceTail() {
 	tx.publishVersions()
 
+	if tx.e.board != nil {
+		tx.commitGroupTail()
+		return
+	}
+
 	// Durable commit point (Algorithm 1 line 2 + the write-set contents
 	// already in the window).
 	tx.pt.To(obs.PhaseLogAppend)
 	tx.log.Commit(tx.clk)
 	tx.pt.To(obs.PhaseHeapWrite)
+	apply := tx.applyWriteSet()
+	tx.e.nvm.SFence(tx.clk) // Algorithm 1 line 7
 
-	// Apply in log order so later ops override earlier ones. Touched slots
-	// are tracked in first-touch order (a map here would iterate in random
-	// order, making the WriteTS sequence — and with it the simulated cache
-	// state — differ between identical runs).
+	tx.pt.To(obs.PhaseFlush)
+	tx.selectiveFlush(apply)
+	tx.pt.To(obs.PhaseCC)
+	tx.releaseLocksCommitted()
+	tx.finish(true)
+}
+
+// commitGroupTail is the in-place commit with group commit on. The commit
+// splits: the *publish* point makes the record visible (and closes the
+// conflict window — locks release and the caller proceeds), while the
+// *durable* point is the epoch seal's coalesced drain. Nothing here fences
+// or flushes on its own behalf: an unsealed epoch leaves no durable claim,
+// so the crash outcome per epoch is all-or-nothing (recovery drops published
+// records whose epoch the durable marker does not cover).
+func (tx *Txn) commitGroupTail() {
+	// Publish point (Algorithm 1 line 2, split from the drain): state word
+	// ordered before the heap writes below, like the per-commit path.
+	tx.pt.To(obs.PhaseLogAppend)
+	epoch := tx.log.Publish(tx.clk)
+	tx.pt.To(obs.PhaseHeapWrite)
+	apply := tx.applyWriteSet()
+
+	tx.pt.To(obs.PhaseFlush)
+	tx.deferredFlush(apply, epoch)
+	tx.e.windows[tx.worker].SealExpired(tx.clk) // lazy leader step
+	tx.pt.To(obs.PhaseCC)
+	tx.releaseLocksCommitted()
+	tx.finish(true)
+}
+
+// applyWriteSet applies the write set to the tuple heap in log order (so
+// later ops override earlier ones) and stamps durable writer timestamps,
+// one per touched slot. Touched slots are tracked in first-touch order (a
+// map here would iterate in random order, making the WriteTS sequence — and
+// with it the simulated cache state — differ between identical runs).
+func (tx *Txn) applyWriteSet() []applyEntry {
 	apply := tx.applyOrder()
 	type touchedSlot struct {
 		t    *Table
@@ -112,13 +152,7 @@ func (tx *Txn) commitInPlaceTail() {
 	for i := range touched {
 		touched[i].t.heap.WriteTS(tx.clk, touched[i].slot, tx.tid)
 	}
-	tx.e.nvm.SFence(tx.clk) // Algorithm 1 line 7
-
-	tx.pt.To(obs.PhaseFlush)
-	tx.selectiveFlush(apply)
-	tx.pt.To(obs.PhaseCC)
-	tx.releaseLocksCommitted()
-	tx.finish(true)
+	return apply
 }
 
 type applyEntry struct {
@@ -224,6 +258,45 @@ func (tx *Txn) selectiveFlush(apply []applyEntry) {
 	if tx.tr != nil && flushed+elided > 0 {
 		tx.tr.Span(obs.EvFlushTrain, flushStart, tx.clk.Nanos(), flushed, elided)
 	}
+}
+
+// deferredFlush is selectiveFlush's group-commit counterpart: the same
+// hot-set policy decides which touched tuples need write-back hints, but
+// instead of issuing per-commit clwbs the surviving ranges enlist on the
+// record's epoch, where the seal batches adjacent lines into flush trains.
+// Hot-set bookkeeping still runs here, at commit time, so elision behaviour
+// matches the per-commit path.
+func (tx *Txn) deferredFlush(apply []applyEntry, epoch uint64) {
+	policy := tx.e.cfg.Flush
+	if policy == FlushNone {
+		return
+	}
+	var elided uint64
+	hot := tx.e.hot[tx.worker]
+	spans := make([]pmem.Span, 0, len(apply)+1)
+	for _, a := range apply {
+		var t *Table
+		var slot uint64
+		var off, n int
+		switch {
+		case a.ins != nil:
+			t, slot, off, n = a.ins.t, a.ins.slot, 0, a.ins.t.schema.TupleSize()
+		case a.w.kind == wal.OpUpdate:
+			t, slot, off, n = a.w.t, a.w.slot, a.w.off, a.w.n
+		default: // delete: header-only change
+			t, slot, off, n = a.w.t, a.w.slot, 0, 0
+		}
+		if policy == FlushSelective {
+			if hot.contains(tx.clk, t.id, slot) {
+				elided++
+				continue // hot tuples are never manually flushed
+			}
+			hot.add(tx.clk, t.id, slot)
+		}
+		spans = t.heap.FlushSpans(slot, off, n, spans)
+	}
+	tx.log.EnlistData(tx.clk, epoch, spans)
+	_ = elided // counted in the hot-set stats, as on the per-commit path
 }
 
 // publishVersions copies the pre-images of updated/deleted tuples into the

@@ -128,6 +128,15 @@ type Config struct {
 	// OwnershipCopy charges Zen's copy-and-invalidate when a thread updates
 	// a tuple version owned by another thread (§6.2.3 Zipfian discussion).
 	OwnershipCopy bool
+	// GroupCommit enables leader-based group commit on in-place engines:
+	// commits publish into durability epochs and the per-commit drain moves
+	// to the epoch seal's coalesced flush trains (ignored for OutOfPlace,
+	// whose commit marker is its own durable point).
+	GroupCommit bool
+	// GroupEpochNanos is the durability-epoch length in virtual nanoseconds
+	// (0 selects wal.DefaultEpochNanos). It bounds the group-commit timeout:
+	// a singleton commit waits at most one epoch before its seal.
+	GroupEpochNanos uint64
 	// Window configures the per-thread log window (Slots is derived from
 	// Log when zero).
 	Window wal.Config
@@ -159,6 +168,9 @@ func (c Config) withDefaults() Config {
 		c.Window.OverflowBytes = 64 << 10
 	}
 	c.Window.Flush = c.Log == FlushedLog
+	if c.Update == OutOfPlace {
+		c.GroupCommit = false
+	}
 	if c.DRAMBytes == 0 {
 		c.DRAMBytes = 512 << 20
 	}

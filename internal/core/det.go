@@ -138,6 +138,12 @@ func (e *Engine) EnterGroup() {
 	if e.dram != nil {
 		e.dram.EnterGroup(n, 2<<20, 16, e.sys.Cost())
 	}
+	if e.board != nil {
+		// Worker-side epoch sealing would mutate the board outside the round
+		// barrier; defer all seals to the commit tails (SealExpired), which
+		// replay serially in canonical order.
+		e.board.EnterGroup()
+	}
 	if e.tcache != nil {
 		// Entries cached before (or put after) group mode would go stale
 		// against group-mode commits, which bypass the shared cache.
@@ -167,6 +173,9 @@ func (e *Engine) LeaveGroup() {
 	e.sys.LeaveGroup()
 	if e.dram != nil {
 		e.dram.LeaveGroup()
+	}
+	if e.board != nil {
+		e.board.LeaveGroup()
 	}
 	e.det = nil
 }

@@ -41,7 +41,12 @@ type Engine struct {
 
 	windowBase uint64
 	markerBase uint64
-	windows    []*wal.Window
+	// epochBase is the 64 B line holding the durable group-commit epoch
+	// marker; board coordinates durability epochs when GroupCommit is on
+	// (nil otherwise — call sites pay one pointer test).
+	epochBase uint64
+	board     *wal.EpochBoard
+	windows   []*wal.Window
 
 	gen    cc.TIDGen
 	active *cc.ActiveSet
@@ -156,12 +161,18 @@ func New(sys *pmem.System, cfg Config, specs []TableSpec) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.epochBase, err = e.arena.Alloc(clk, 64, 64)
+	if err != nil {
+		return nil, err
+	}
+	var zero [8]byte
+	e.nvm.BulkWrite(e.epochBase, zero[:])
 	e.windows = make([]*wal.Window, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		e.windows[t] = wal.NewWindow(e.nvm, e.windowBase+uint64(t)*winBytes, cfg.Window)
-		var zero [8]byte
 		e.nvm.BulkWrite(e.markerBase+64*uint64(t), zero[:])
 	}
+	e.initGroupCommit()
 
 	for _, spec := range specs {
 		if _, err := e.createTable(clk, spec); err != nil {
@@ -173,6 +184,24 @@ func New(sys *pmem.System, cfg Config, specs []TableSpec) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// initGroupCommit attaches the group-commit epoch board to every window
+// (no-op unless the configuration enables group commit). Shared by the
+// create and recovery paths; the durable marker at epochBase must already be
+// zeroed.
+func (e *Engine) initGroupCommit() {
+	if !e.cfg.GroupCommit {
+		return
+	}
+	e.board = wal.NewEpochBoard(e.nvm, e.epochBase, e.cfg.GroupEpochNanos)
+	for _, w := range e.windows {
+		w.SetBoard(e.board)
+	}
+}
+
+// Board returns the group-commit epoch board, or nil when group commit is
+// off (diagnostics and tests).
+func (e *Engine) Board() *wal.EpochBoard { return e.board }
 
 // NewEngineArena formats the engine's space arena (header + catalog region
 // reserved).
@@ -215,6 +244,11 @@ func (e *Engine) initObs() {
 	e.reg.Register("wal", func(s *obs.Snapshot) {
 		for _, w := range e.windows {
 			s.WAL.Add(w.Stats())
+		}
+	})
+	e.reg.Register("group-commit", func(s *obs.Snapshot) {
+		if e.board != nil {
+			s.Epochs.Add(e.board.Stats())
 		}
 	})
 	e.reg.Register("hot-set", func(s *obs.Snapshot) {
@@ -499,6 +533,9 @@ func (e *Engine) ResetCounters() {
 	for _, h := range e.hot {
 		h.stats = obs.HotSetStats{}
 	}
+	if e.board != nil {
+		e.board.ResetStats()
+	}
 	for w := range e.tstats {
 		for i := range e.tstats[w] {
 			e.tstats[w][i] = paddedTableStats{}
@@ -524,7 +561,14 @@ func (e *Engine) AbortReasons() [obs.NumAbortReasons]uint64 {
 func (e *Engine) MinActive() uint64 { return e.active.Min() }
 
 // Sync flushes all dirty simulated state to the media (clean shutdown).
-func (e *Engine) Sync(clk *sim.Clock) { e.sys.Sync(clk) }
+// With group commit on, every open durability epoch seals first so no
+// published record is left behind its durable point.
+func (e *Engine) Sync(clk *sim.Clock) {
+	if e.board != nil {
+		e.board.SealAll(clk, nil)
+	}
+	e.sys.Sync(clk)
+}
 
 // BulkIndexInsert installs an index entry during initial data load, charging
 // no worker clock (pass nil clocks through; sim.Clock methods are nil-safe).

@@ -45,6 +45,12 @@ type RecoveryReport struct {
 	// CorruptRecords counts structurally valid log records rejected by CRC
 	// verification.
 	CorruptRecords int
+	// DroppedUnsealed counts group-commit records published into epochs the
+	// durable epoch marker never covered: their transactions reached the
+	// publish point but not the durable point, so the whole epoch is dropped
+	// (per-epoch all-or-nothing). Always zero under persistent cache, where
+	// the publish point is itself durable.
+	DroppedUnsealed int
 }
 
 // Recover reopens an engine from the post-crash durable image of sys. The
@@ -91,6 +97,7 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 	e.initWorkers()
 	e.windowBase = img.windowBase
 	e.markerBase = img.markerBase
+	e.epochBase = img.epochBase
 	// An NVM index that crashed with a volatile cache cannot be trusted
 	// blindly: entries whose delete never reached the media may still map
 	// dead keys to recycled slots. Hash indexes cannot be enumerated to
@@ -171,7 +178,15 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 
 		pt.To(obs.PhaseRecReplay)
 		mark = clk.Nanos()
-		maxTID, err = e.replayLogs(clk, rep, cfg.Index == IndexNVM)
+		// Published-record gate: under persistent cache the publish point is
+		// physically durable, so every published record replays; under ADR
+		// only epochs the durable marker covers were sealed — records beyond
+		// it are at most partially durable and the whole epoch drops.
+		epochCutoff := ^uint64(0)
+		if sys.Config().Mode == pmem.ADR {
+			epochCutoff = e.nvm.ReadU64(clk, e.epochBase)
+		}
+		maxTID, err = e.replayLogs(clk, rep, cfg.Index == IndexNVM, epochCutoff)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -217,6 +232,12 @@ func Recover(sys *pmem.System, cfg Config) (*Engine, *RecoveryReport, error) {
 		e.windows[t] = wal.OpenWindow(e.nvm, e.windowBase+uint64(t)*winBytes, e.cfg.Window)
 		e.windows[t].Reset(clk)
 	}
+	// Virtual clocks restart at zero, so durability epochs restart at 1; a
+	// stale marker from the previous incarnation would falsely validate them.
+	e.nvm.WriteU64(clk, e.epochBase, 0)
+	e.nvm.CLWB(clk, e.epochBase, 8)
+	e.nvm.SFence(clk)
+	e.initGroupCommit()
 
 	pt.Finish()
 	e.recPhases = ps
@@ -234,8 +255,11 @@ func (e *Engine) openIndexOn(space pmem.Space, clk *sim.Clock, off uint64, kind 
 
 // replayLogs reads every thread's window, sorts committed records by TID and
 // applies them with the tuple-timestamp guard that makes replay idempotent
-// and clobber-free (§5.3).
-func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool) (uint64, error) {
+// and clobber-free (§5.3). epochCutoff gates group-commit records: published
+// records tagged with an epoch beyond it never had their epoch sealed, so
+// their durability is not guaranteed and the whole epoch is dropped. Legacy
+// commit records carry epoch 0 and always replay.
+func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool, epochCutoff uint64) (uint64, error) {
 	// Under eADR the crash flush preserved every in-cache index mutation, so
 	// the reattached NVM index is exactly the pre-crash state and must not
 	// be second-guessed. Under ADR index mutations may have been lost, so
@@ -257,6 +281,10 @@ func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool
 	for _, rec := range recs {
 		if rec.TID > maxTID {
 			maxTID = rec.TID
+		}
+		if rec.Epoch > epochCutoff {
+			rep.DroppedUnsealed++
+			continue
 		}
 		rep.RecordsReplayed++
 		for _, op := range rec.Ops {

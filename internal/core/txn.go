@@ -172,6 +172,13 @@ func (e *Engine) begin(worker int, ro bool) *Txn {
 	}
 	clk.Advance(e.sys.Cost().TxnOverhead)
 	if e.cfg.Update == InPlace && !ro {
+		if e.board != nil {
+			// Group-commit backpressure: the next slot's record may belong
+			// to an epoch that has not reached its durable point; wait out
+			// the bounded epoch timeout before overwriting it.
+			tx.pt.To(obs.PhaseGroupWait)
+			e.windows[worker].GroupWait(clk)
+		}
 		tx.pt.To(obs.PhaseLogAppend)
 		tx.log = e.windows[worker].Begin(clk, tid)
 		tx.pt.To(obs.PhaseExec)

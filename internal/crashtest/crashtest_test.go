@@ -43,6 +43,70 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
+func matrixCell(t *testing.T, name string, mode pmem.Mode) Cell {
+	t.Helper()
+	for _, c := range Matrix() {
+		if c.Config.Name == name && c.Mode == mode {
+			return c
+		}
+	}
+	t.Fatalf("no matrix cell %q / %s", name, ModeName(mode))
+	return Cell{}
+}
+
+// TestGroupCommitMidEpochCrash pins the crash semantics of leader-based group
+// commit. Under ADR an acknowledged transaction sits in an unsealed durability
+// epoch until its leader seals — a crash landing in that window (including
+// mid-seal, between the record-train flush and the marker publish) must drop
+// the whole epoch tail, never a prefix of a transaction, and the containment
+// oracle must hold throughout. The recovery reports prove the window was
+// actually hit: DroppedUnsealed counts published records gated out by the
+// recovered epoch marker. Under eADR the publish point is already durable, so
+// the same seeds must replay everything (zero drops) against the strict
+// oracle.
+//
+// The evidence cell is the flushed-log preset: its seal trains force record
+// bytes to the media, so an unsealed record is visible to the recovery
+// scanner. Small-log-window presets (Falcon) keep records cached by design —
+// their unsealed records vanish wholesale under ADR instead of being gated,
+// which the matrix covers but which leaves no drop counter to assert on.
+func TestGroupCommitMidEpochCrash(t *testing.T) {
+	seeds := seedsForTest(t)
+
+	t.Run("ADR", func(t *testing.T) {
+		t.Parallel()
+		cell := matrixCell(t, "Inp+GC", pmem.ADR)
+		if cell.Strict() {
+			t.Fatalf("ADR group commit acks before the epoch seals; it must use the containment oracle")
+		}
+		res := RunCell(cell, Options{Seeds: seeds})
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %s\n  repro: %s", v.Seed, v.Detail, cell.Repro(v.Seed))
+		}
+		if res.Crashes == 0 {
+			t.Fatalf("no injected crash fired across %d seeds", seeds)
+		}
+		if res.DroppedUnsealed == 0 {
+			t.Errorf("no seed crashed mid-epoch across %d seeds: recovery never dropped an unsealed record, so the group-commit crash window went unexercised", seeds)
+		}
+	})
+
+	t.Run("eADR", func(t *testing.T) {
+		t.Parallel()
+		cell := matrixCell(t, "Inp+GC", pmem.EADR)
+		if !cell.Strict() {
+			t.Fatalf("eADR group commit is physically durable at publish; it must be checked strictly")
+		}
+		res := RunCell(cell, Options{Seeds: seeds})
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %s\n  repro: %s", v.Seed, v.Detail, cell.Repro(v.Seed))
+		}
+		if res.DroppedUnsealed != 0 {
+			t.Errorf("eADR recovery dropped %d published records; the persistent cache must make every publish durable", res.DroppedUnsealed)
+		}
+	})
+}
+
 func presetByName(t *testing.T, name string) core.Config {
 	t.Helper()
 	for _, cfg := range bench.EngineConfigs() {

@@ -44,16 +44,23 @@ func (c Cell) Repro(seed uint64) string {
 
 // Strict reports whether the cell promises strict durable linearizability:
 // every acknowledged transaction survives the crash exactly. Under eADR the
-// cache is in the persistence domain, so every preset is strict. Under ADR
+// cache is in the persistence domain, so every preset is strict — including
+// group commit, whose publish point is then physically durable. Under ADR
 // only engines that flush their durability chain qualify: out-of-place
 // engines with flushed version data and markers, and in-place engines with
 // flushed logs plus flushed tuple data (whose log windows are deep enough —
 // txnBudget < Threads × slots — that no acknowledged record is overwritten
-// before the crash). Everything else is checked against the weaker
-// containment oracle.
+// before the crash). Group commit under ADR acknowledges at the publish
+// point, before the durability epoch seals, so a crash mid-epoch legitimately
+// drops acknowledged tail transactions (per-epoch all-or-nothing) — those
+// cells are checked against the weaker containment oracle. Everything else
+// is containment too.
 func (c Cell) Strict() bool {
 	if c.Mode == pmem.EADR {
 		return true
+	}
+	if c.Config.GroupCommit {
+		return false
 	}
 	if c.Config.Update == core.OutOfPlace {
 		return c.Config.Flush != core.FlushNone
@@ -61,12 +68,21 @@ func (c Cell) Strict() bool {
 	return c.Config.Log == core.FlushedLog && c.Config.Flush == core.FlushAll
 }
 
-// Matrix returns the full preset × mode grid.
+// Matrix returns the full preset × mode grid, plus a group-commit variant of
+// every in-place preset (out-of-place engines have no redo log to coalesce).
 func Matrix() []Cell {
 	var cells []Cell
 	for _, ecfg := range bench.EngineConfigs() {
 		for _, mode := range []pmem.Mode{pmem.EADR, pmem.ADR} {
 			cells = append(cells, Cell{Config: ecfg, Mode: mode})
+		}
+		if ecfg.Update == core.InPlace {
+			gcfg := ecfg
+			gcfg.GroupCommit = true
+			gcfg.Name += "+GC"
+			for _, mode := range []pmem.Mode{pmem.EADR, pmem.ADR} {
+				cells = append(cells, Cell{Config: gcfg, Mode: mode})
+			}
 		}
 	}
 	return cells
@@ -123,6 +139,10 @@ type CellResult struct {
 	// counters across seeds — evidence the WAL scanner is classifying.
 	DetectedTorn    int
 	DetectedCorrupt int
+	// DroppedUnsealed sums group-commit records dropped for sitting in an
+	// unsealed durability epoch — evidence the mid-epoch crash window
+	// (between the leader's train flush and the marker publish) was hit.
+	DroppedUnsealed int
 
 	Violations []Violation
 }
@@ -475,6 +495,7 @@ func RunCell(cell Cell, opts Options) CellResult {
 		if rep != nil {
 			res.DetectedTorn += rep.TornRecords
 			res.DetectedCorrupt += rep.CorruptRecords
+			res.DroppedUnsealed += rep.DroppedUnsealed
 		}
 		for _, v := range viol {
 			res.Violations = append(res.Violations, Violation{Seed: seed, Detail: v, TracePath: tracePath})

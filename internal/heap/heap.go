@@ -340,6 +340,19 @@ func (h *Heap) CLWBSlot(clk *sim.Clock, slot uint64, off, n int) {
 	h.space.CLWB(clk, start, int(end-start))
 }
 
+// FlushSpans appends the byte ranges CLWBSlot would flush for (slot, off, n)
+// without issuing the write-backs — group commit collects them into the
+// epoch seal's flush trains instead of flushing per commit.
+func (h *Heap) FlushSpans(slot uint64, off, n int, spans []pmem.Span) []pmem.Span {
+	start := h.slotOff(slot) // include the header lines: ts lives there
+	end := h.PayloadAddr(slot) + uint64(off+n)
+	if off > 0 {
+		start = h.PayloadAddr(slot) + uint64(off)
+		spans = append(spans, pmem.Span{Off: h.slotOff(slot), N: slotHdrBytes})
+	}
+	return append(spans, pmem.Span{Off: start, N: int(end - start)})
+}
+
 // SFence orders prior stores.
 func (h *Heap) SFence(clk *sim.Clock) { h.space.SFence(clk) }
 

@@ -46,6 +46,11 @@ const (
 	// PhaseAbort is rollback work: log discard, lock restore, insert-slot
 	// recycling, and the abort overhead charge.
 	PhaseAbort
+	// PhaseGroupWait is group-commit durability stalls: the bounded wait a
+	// worker pays when it must reclaim a log slot whose record belongs to a
+	// durability epoch that has not been sealed yet (the epoch timeout is the
+	// bound), plus the forced seal that releases the slot.
+	PhaseGroupWait
 
 	// The remaining phases partition recovery (core.Recover) rather than a
 	// transaction: restart-path virtual time reported from the same registry
@@ -69,6 +74,7 @@ const (
 // PhaseNames maps Phase values to stable short names (rendering, JSON).
 var PhaseNames = [NumPhases]string{
 	"exec", "cc", "log-append", "heap-write", "index-update", "flush", "abort",
+	"group-wait",
 	"rec-catalog", "rec-index", "rec-replay", "rec-heap-scan",
 }
 

@@ -80,6 +80,74 @@ func (s WALStats) MeanRecordBytes() uint64 {
 	return s.BytesLogged / s.Commits
 }
 
+// EpochStats summarizes the group-commit durability epochs: how many epochs
+// sealed, how many records they coalesced, and the distribution of epoch
+// sizes and publish→durable lag. The counters are plain uint64 (the epoch
+// board guards them with its own lock and snapshots are quiescent); the
+// histogram dumps are point-in-time exports and pass through Sub unchanged —
+// callers that diff snapshots reset the board's stats at the measurement
+// start instead (Engine.ResetCounters does).
+type EpochStats struct {
+	// Sealed counts sealed (drained) epochs; Pending is the number of epochs
+	// still open at snapshot time (gauge).
+	Sealed  uint64
+	Pending uint64
+	// Records counts transactions published into epochs; TrainSpans counts
+	// the contiguous spans their seals coalesced into flush trains.
+	Records    uint64
+	TrainSpans uint64
+	// ForcedSeals counts slot-reclaim waits that had to seal an epoch early;
+	// ForcedWaitNanos is the virtual time those waits stalled (also visible
+	// as PhaseGroupWait).
+	ForcedSeals     uint64
+	ForcedWaitNanos uint64
+	// EpochSize is the distribution of records per sealed epoch; DurableLag
+	// the distribution of publish→seal virtual nanoseconds per record.
+	EpochSize  HistogramDump `json:",omitempty"`
+	DurableLag HistogramDump `json:",omitempty"`
+}
+
+// Add sums o's counters into s (histograms merge by bucket list append is
+// not meaningful; the engine contributes one board, so Add takes o's dumps
+// when s has none).
+func (s *EpochStats) Add(o EpochStats) {
+	s.Sealed += o.Sealed
+	s.Pending += o.Pending
+	s.Records += o.Records
+	s.TrainSpans += o.TrainSpans
+	s.ForcedSeals += o.ForcedSeals
+	s.ForcedWaitNanos += o.ForcedWaitNanos
+	if s.EpochSize.Count == 0 {
+		s.EpochSize = o.EpochSize
+	}
+	if s.DurableLag.Count == 0 {
+		s.DurableLag = o.DurableLag
+	}
+}
+
+// Sub returns the counter-wise difference s - o; the histogram dumps pass
+// through from s (see the type comment).
+func (s EpochStats) Sub(o EpochStats) EpochStats {
+	return EpochStats{
+		Sealed:          s.Sealed - o.Sealed,
+		Pending:         s.Pending,
+		Records:         s.Records - o.Records,
+		TrainSpans:      s.TrainSpans - o.TrainSpans,
+		ForcedSeals:     s.ForcedSeals - o.ForcedSeals,
+		ForcedWaitNanos: s.ForcedWaitNanos - o.ForcedWaitNanos,
+		EpochSize:       s.EpochSize,
+		DurableLag:      s.DurableLag,
+	}
+}
+
+// MeanEpochSize returns the average records per sealed epoch.
+func (s EpochStats) MeanEpochSize() float64 {
+	if s.Sealed == 0 {
+		return 0
+	}
+	return float64(s.Records) / float64(s.Sealed)
+}
+
 // HotSetStats aggregates the per-worker hot-tuple LRU counters (selective
 // data flush, §4.4). Hits are flushes elided; misses become adds, which may
 // evict.
@@ -147,6 +215,9 @@ type Snapshot struct {
 	WAL         WALStats
 	Hot         HotSetStats
 	Mem         pmem.Snapshot
+	// Epochs carries the group-commit durability-epoch stats (zero when
+	// group commit is off).
+	Epochs EpochStats
 	// Tables maps table name to its per-table counters (nil when the source
 	// engine registers no tables).
 	Tables map[string]TableStats `json:",omitempty"`
@@ -160,6 +231,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		WAL:     s.WAL.Sub(o.WAL),
 		Hot:     s.Hot.Sub(o.Hot),
 		Mem:     s.Mem.Sub(o.Mem),
+		Epochs:  s.Epochs.Sub(o.Epochs),
 	}
 	for i := range s.PhaseNanos {
 		out.PhaseNanos[i] = s.PhaseNanos[i] - o.PhaseNanos[i]
@@ -215,6 +287,13 @@ func (s Snapshot) Text() string {
 			s.WAL.MeanRecordBytes(), s.WAL.SlotBytes, s.WAL.MaxRecordBytes,
 			s.WAL.Overflows, s.WAL.OverflowBytes, s.WAL.FullRejects)
 	}
+	if s.Epochs.Records > 0 || s.Epochs.Sealed > 0 {
+		fmt.Fprintf(&b, "epochs    sealed %d  pending %d  records %d  mean size %.1f  train spans %d\n",
+			s.Epochs.Sealed, s.Epochs.Pending, s.Epochs.Records,
+			s.Epochs.MeanEpochSize(), s.Epochs.TrainSpans)
+		fmt.Fprintf(&b, "          forced seals %d (%d ns group-wait)  durable lag max %d ns\n",
+			s.Epochs.ForcedSeals, s.Epochs.ForcedWaitNanos, s.Epochs.DurableLag.Max)
+	}
 	if s.Hot.Hits+s.Hot.Misses > 0 {
 		fmt.Fprintf(&b, "hot-set   hits %d  misses %d  evictions %d\n",
 			s.Hot.Hits, s.Hot.Misses, s.Hot.Evictions)
@@ -259,6 +338,9 @@ func (s Snapshot) JSON() ([]byte, error) {
 		"wal":          s.WAL,
 		"hot_set":      s.Hot,
 		"pmem":         s.Mem,
+	}
+	if s.Epochs.Records > 0 || s.Epochs.Sealed > 0 {
+		m["epochs"] = s.Epochs
 	}
 	if len(s.Tables) > 0 {
 		m["tables"] = s.Tables

@@ -27,14 +27,20 @@ const (
 	// Arg is the number of cache lines flushed; Arg2 counts flushes elided by
 	// the hot set.
 	EvFlushTrain
+	// EvEpochSeal spans the sealing of one group-commit durability epoch: the
+	// coalesced record/data flush trains, the single epoch drain, and the
+	// durable-marker publish. Arg is the epoch id; Arg2 the number of records
+	// the epoch coalesced.
+	EvEpochSeal
 
 	// NumEventKinds is the number of kinds (array sizing).
-	NumEventKinds = int(EvFlushTrain) + 1
+	NumEventKinds = int(EvEpochSeal) + 1
 )
 
 // EventKindNames maps EventKind values to stable short names.
 var EventKindNames = [NumEventKinds]string{
 	"txn", "phase", "lock-wait", "wal-claim", "xp-evict", "flush-train",
+	"epoch-seal",
 }
 
 func (k EventKind) String() string {

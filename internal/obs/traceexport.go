@@ -164,6 +164,10 @@ func chromeEventFor(pid int, e *Event) chromeEvent {
 		ce.Name = fmt.Sprintf("flush-train (%d lines)", e.Arg)
 		ce.Args["lines"] = e.Arg
 		ce.Args["elided"] = e.Arg2
+	case EvEpochSeal:
+		ce.Name = fmt.Sprintf("epoch-seal #%d (%d records)", e.Arg, e.Arg2)
+		ce.Args["epoch"] = e.Arg
+		ce.Args["records"] = e.Arg2
 	default:
 		ce.Name = e.Kind.String()
 	}
@@ -291,6 +295,9 @@ func Autopsy(ex *Exemplar) string {
 			fmt.Fprintf(&b, "  %+10d  xp-evict %s  block %#x\n", off, kind, e.Arg2)
 		case EvFlushTrain:
 			fmt.Fprintf(&b, "  %+10d  flush-train %d lines (%d elided)  %d ns\n",
+				off, e.Arg, e.Arg2, e.End-e.Start)
+		case EvEpochSeal:
+			fmt.Fprintf(&b, "  %+10d  epoch-seal #%d  %d records  %d ns\n",
 				off, e.Arg, e.Arg2, e.End-e.Start)
 		default:
 			fmt.Fprintf(&b, "  %+10d  %s\n", off, e.Kind)

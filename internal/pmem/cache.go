@@ -274,6 +274,71 @@ func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
 	}
 }
 
+// Span is one contiguous byte range of a flush train.
+type Span struct {
+	Off uint64
+	N   int
+}
+
+// Lines returns the number of 64 B cache lines the span covers.
+func (s Span) Lines() int {
+	if s.N <= 0 {
+		return 0
+	}
+	first := lineFloor(s.Off)
+	last := lineFloor(s.Off + uint64(s.N) - 1)
+	return int((last-first)/LineSize) + 1
+}
+
+// CLWBTrain writes back the lines covering each span as one hinted
+// multi-line flush train: the leading line of every span charges the full
+// ClwbIssue, each further adjacent line only ClwbTrainNext — the coalesced
+// persistence primitive behind leader-based group commit. Per-line write-back
+// semantics are identical to CLWB (dirty resident lines go down and stay
+// resident clean), and every line remains an individual FaultFlush point so
+// mid-train crash seeds fall out of the existing fault calibration.
+func (c *Cache) CLWBTrain(clk *sim.Clock, spans []Span) {
+	sh := c.stats.ShardFor(clk)
+	trained := false
+	for _, sp := range spans {
+		if sp.N <= 0 {
+			continue
+		}
+		c.checkRange(sp.Off, sp.N)
+		trained = true
+		end := sp.Off + uint64(sp.N)
+		first := true
+		for la := lineFloor(sp.Off); la < end; la += LineSize {
+			if c.faults != nil {
+				c.faults.note(FaultFlush)
+				c.faults.check()
+			}
+			if first {
+				clk.Advance(c.cost.ClwbIssue)
+				first = false
+			} else {
+				clk.Advance(c.cost.ClwbTrainNext)
+			}
+			sh.FlushTrainLines.Add(1)
+			set := c.setFor(la)
+			set.mu.lock()
+			if w := set.findHit(la); w >= 0 && set.meta[w].state == lineDirty {
+				clk.Advance(c.cost.LineWriteback)
+				c.lower.writeBackLine(clk, la, &set.data[w])
+				set.meta[w].state = lineClean
+				sh.ClwbWritebacks.Add(1)
+			}
+			set.mu.unlock()
+			if c.faults != nil {
+				c.faults.check() // drains noted under the bank lock
+			}
+		}
+	}
+	if trained {
+		sh.FlushTrains.Add(1)
+	}
+}
+
 // SFence charges the fence cost. Ordering itself needs no modelling: the
 // simulation executes each worker's operations in program order.
 func (c *Cache) SFence(clk *sim.Clock) { clk.Advance(c.cost.Sfence) }

@@ -19,6 +19,11 @@ type Space interface {
 	// CLWB hints write-back of the cache lines covering [off, off+n).
 	// It is a no-op on non-persistent spaces.
 	CLWB(clk *sim.Clock, off uint64, n int)
+	// CLWBTrain hints write-back of the lines covering each span as one
+	// coalesced multi-line flush train: the first line of a span pays the
+	// full clwb issue cost, each further adjacent line a reduced train cost.
+	// It is a no-op on non-persistent spaces.
+	CLWBTrain(clk *sim.Clock, spans []Span)
 	// SFence orders preceding stores.
 	SFence(clk *sim.Clock)
 	// ReadU64 reads the little-endian uint64 at off — Read with an 8-byte
@@ -86,6 +91,14 @@ func (s *NVMSpace) CLWB(clk *sim.Clock, off uint64, n int) {
 	s.cache.CLWB(clk, off, n)
 }
 
+func (s *NVMSpace) CLWBTrain(clk *sim.Clock, spans []Span) {
+	if s.det != nil {
+		s.det.cacheFor(clk).CLWBTrain(clk, spans)
+		return
+	}
+	s.cache.CLWBTrain(clk, spans)
+}
+
 func (s *NVMSpace) SFence(clk *sim.Clock) {
 	if s.det != nil {
 		s.det.cacheFor(clk).SFence(clk)
@@ -113,8 +126,8 @@ func (s *NVMSpace) BulkWriteU64(off uint64, v uint64) {
 	binary.LittleEndian.PutUint64(b[:], v)
 	s.dev.RawWrite(off, b[:])
 }
-func (s *NVMSpace) Size() uint64                     { return s.dev.Size() }
-func (s *NVMSpace) Persistent() bool                 { return true }
+func (s *NVMSpace) Size() uint64     { return s.dev.Size() }
+func (s *NVMSpace) Persistent() bool { return true }
 
 // Device exposes the backing device (stats, raw post-crash inspection).
 func (s *NVMSpace) Device() *Device { return s.dev }
@@ -203,6 +216,7 @@ func (s *DRAMSpace) WriteU64(clk *sim.Clock, off uint64, v uint64) {
 }
 
 func (s *DRAMSpace) CLWB(clk *sim.Clock, off uint64, n int) {}
+func (s *DRAMSpace) CLWBTrain(clk *sim.Clock, spans []Span) {}
 func (s *DRAMSpace) SFence(clk *sim.Clock)                  {}
 func (s *DRAMSpace) BulkWrite(off uint64, src []byte) {
 	copy(s.back.data[off:off+uint64(len(src))], src)

@@ -61,9 +61,14 @@ type StatShard struct {
 	CrashFlushedLines atomic.Uint64
 	// CrashDroppedLines counts dirty lines discarded by an ADR crash.
 	CrashDroppedLines atomic.Uint64
+	// FlushTrains counts hinted multi-line flush trains issued via CLWBTrain;
+	// FlushTrainLines counts the lines those trains covered. Lines written
+	// back by trains also count in ClwbWritebacks.
+	FlushTrains     atomic.Uint64
+	FlushTrainLines atomic.Uint64
 	// pad rounds the block up to a multiple of the 64 B cache line size
-	// (15 counters = 120 B -> 128 B) so adjacent shards never share a line.
-	_ [8]byte
+	// (17 counters = 136 B -> 192 B) so adjacent shards never share a line.
+	_ [56]byte
 }
 
 // Stats counts simulated hardware events on an NVM device and its attached
@@ -105,6 +110,8 @@ type Snapshot struct {
 	BytesToMedia       uint64
 	CrashFlushedLines  uint64
 	CrashDroppedLines  uint64
+	FlushTrains        uint64
+	FlushTrainLines    uint64
 }
 
 // Snapshot returns the current counter values summed across all shards.
@@ -127,6 +134,8 @@ func (s *Stats) Snapshot() Snapshot {
 		out.BytesToMedia += sh.BytesToMedia.Load()
 		out.CrashFlushedLines += sh.CrashFlushedLines.Load()
 		out.CrashDroppedLines += sh.CrashDroppedLines.Load()
+		out.FlushTrains += sh.FlushTrains.Load()
+		out.FlushTrainLines += sh.FlushTrainLines.Load()
 	}
 	return out
 }
@@ -149,6 +158,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		BytesToMedia:       s.BytesToMedia - o.BytesToMedia,
 		CrashFlushedLines:  s.CrashFlushedLines - o.CrashFlushedLines,
 		CrashDroppedLines:  s.CrashDroppedLines - o.CrashDroppedLines,
+		FlushTrains:        s.FlushTrains - o.FlushTrains,
+		FlushTrainLines:    s.FlushTrainLines - o.FlushTrainLines,
 	}
 }
 

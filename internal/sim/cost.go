@@ -33,6 +33,11 @@ type CostModel struct {
 	// flush uses <sfence + clwb*>, i.e. it does not wait for completion, so
 	// only the issue cost applies.
 	ClwbIssue uint64
+	// ClwbTrainNext is charged for each additional line of a hinted multi-line
+	// flush train after the first (Space.CLWBTrain): the front end amortizes
+	// decode/issue across the adjacent lines of a span, so trailing lines cost
+	// a fraction of a standalone ClwbIssue.
+	ClwbTrainNext uint64
 	// Sfence is charged per sfence instruction.
 	Sfence uint64
 	// DRAMFirstLine and DRAMNextLine are charged for accesses to simulated
@@ -63,6 +68,7 @@ func DefaultCostModel() CostModel {
 		XPBufferHit:     90,
 		LineWriteback:   10,
 		ClwbIssue:       8,
+		ClwbTrainNext:   2,
 		Sfence:          20,
 		DRAMFirstLine:   70,
 		DRAMNextLine:    15,

@@ -43,6 +43,12 @@ const (
 	// StateCommitted marks a durably committed transaction; recovery replays
 	// its ops (idempotently, guarded by tuple timestamps).
 	StateCommitted uint64 = 2
+	// StatePublished marks a group-commit record at its publish point: the
+	// transaction's conflict window has closed but its durability epoch may
+	// not be sealed yet. Recovery replays it like StateCommitted under
+	// persistent cache (eADR); under ADR only when the durable epoch marker
+	// covers its epoch — the per-epoch all-or-nothing gate.
+	StatePublished uint64 = 3
 )
 
 // Op types.
@@ -63,7 +69,8 @@ const (
 	hdrNops    = 16 // u32
 	hdrLen     = 20 // u32: payload bytes used in the slot
 	hdrExtLen  = 24 // u32: payload bytes continued in the overflow region
-	hdrCRC     = 28 // u32: CRC32 (IEEE) over tid, payload, and the count words
+	hdrCRC     = 28 // u32: CRC32 (IEEE) over tid, payload, count words, and epoch
+	hdrEpoch   = 32 // u64: durability epoch id (0 on the per-commit path)
 	hdrBytes   = 64
 	opHdrBytes = 1 + 1 + 2 + 8 + 8 + 4 + 4 // type, table, pad, slot, key, off, len
 )
@@ -119,7 +126,38 @@ type Window struct {
 	// heap-escapes through the Space interface on every call. Safe to share
 	// across Begin/Commit/appendOp/ReadOp because the window is single-owner
 	// like the rest of its state.
-	scratch [32]byte
+	scratch [40]byte
+	// board, when set, enables group commit: Publish enlists records into
+	// durability epochs on it and GroupWait backpressures slot reclaims
+	// against unsealed epochs. slotEpoch mirrors, per slot, the epoch of the
+	// published record occupying it (volatile bookkeeping; 0 = none).
+	board     *EpochBoard
+	slotEpoch []uint64
+}
+
+// SetBoard attaches the shared group-commit epoch board (nil detaches).
+// Must be called while the owning worker is quiescent.
+func (w *Window) SetBoard(b *EpochBoard) {
+	w.board = b
+	if b != nil && w.slotEpoch == nil {
+		w.slotEpoch = make([]uint64, w.cfg.Slots)
+	}
+}
+
+// GroupWait is the group-commit backpressure point, called before Begin
+// reclaims the next slot: if the slot's previous record belongs to an epoch
+// that is not sealed yet, the worker stalls until that epoch's boundary (the
+// bounded timeout) and forces the seal. Returns the virtual nanoseconds
+// stalled; the caller attributes them to the group-wait phase.
+func (w *Window) GroupWait(clk *sim.Clock) uint64 {
+	if w.board == nil || w.slotEpoch == nil {
+		return 0
+	}
+	id := w.slotEpoch[w.cur]
+	if id == 0 {
+		return 0
+	}
+	return w.board.reclaimWait(clk, w.tr, id)
 }
 
 // SetTrace arms (or with nil, disarms) trace-event capture on the window.
@@ -183,9 +221,14 @@ func (w *Window) Begin(clk *sim.Clock, tid uint64) *TxnLog {
 		}
 		w.tr.Instant(obs.EvWALClaim, clk.Nanos(), uint64(i), wr)
 	}
+	if w.slotEpoch != nil {
+		w.slotEpoch[i] = 0 // the previous record's epoch was sealed by GroupWait
+	}
 	l := &TxnLog{w: w, slot: i, pos: hdrBytes}
-	hdr := &w.scratch
-	*hdr = [32]byte{}
+	hdr := w.scratch[:32]
+	for b := range hdr {
+		hdr[b] = 0
+	}
 	binary.LittleEndian.PutUint64(hdr[hdrState:], StateUncommitted)
 	binary.LittleEndian.PutUint64(hdr[hdrTID:], tid)
 	// nops/len/extlen/crc cleared; written at commit.
@@ -297,10 +340,8 @@ func (l *TxnLog) AppendDelete(clk *sim.Clock, table uint8, slot, key uint64) int
 	return l.appendOp(clk, OpDelete, table, slot, key, 0, nil)
 }
 
-// Commit publishes the record: op counts, then the COMMITTED state, then a
-// fence. From this instant the transaction is durable (Algorithm 1 line 2).
-func (l *TxnLog) Commit(clk *sim.Clock) {
-	base := l.w.slotOff(l.slot)
+// commitStats accumulates the window gauges common to both commit flavours.
+func (l *TxnLog) commitStats() {
 	recBytes := uint64(l.pos-hdrBytes) + uint64(l.extPos)
 	l.w.stats.Commits++
 	l.w.stats.BytesLogged += recBytes
@@ -311,41 +352,113 @@ func (l *TxnLog) Commit(clk *sim.Clock) {
 		l.w.stats.Overflows++
 		l.w.stats.OverflowBytes += uint64(l.extPos)
 	}
-	// Counts and checksum share the header cache line and publish in one
-	// store: nops, slot length, overflow length, then the CRC finalized over
-	// those three words — so a torn or flipped count word is caught by the
-	// same checksum that protects the payload.
-	cnt := l.w.scratch[:16]
+}
+
+// publishHeader writes the record's count image and state word. Counts,
+// checksum, and epoch share the header cache line and publish in one store:
+// nops, slot length, overflow length, CRC, epoch — the CRC finalized over the
+// three count words and the epoch word, so a torn or flipped count (or a
+// record attributed to the wrong epoch) is caught by the same checksum that
+// protects the payload. No fence: the caller decides the drain.
+func (l *TxnLog) publishHeader(clk *sim.Clock, state, epoch uint64) {
+	base := l.w.slotOff(l.slot)
+	cnt := l.w.scratch[:24]
 	binary.LittleEndian.PutUint32(cnt[0:], uint32(l.nops))
 	binary.LittleEndian.PutUint32(cnt[4:], uint32(l.pos-hdrBytes))
 	binary.LittleEndian.PutUint32(cnt[8:], uint32(l.extPos))
-	binary.LittleEndian.PutUint32(cnt[12:], crc32.Update(l.crc, crc32.IEEETable, cnt[0:12]))
+	binary.LittleEndian.PutUint64(cnt[16:], epoch)
+	crc := crc32.Update(l.crc, crc32.IEEETable, cnt[0:12])
+	crc = crc32.Update(crc, crc32.IEEETable, cnt[16:24])
+	binary.LittleEndian.PutUint32(cnt[12:], crc)
 	l.w.space.Write(clk, base+hdrNops, cnt)
+	l.w.space.WriteU64(clk, base+hdrState, state)
+}
 
-	l.w.space.WriteU64(clk, base+hdrState, StateCommitted)
+// pendingSpans appends the byte ranges this record must force to the media
+// to be durable: the whole record region when the window is a flushed log
+// (classic NVM logging — the record is contiguous, so the clwbs merge into
+// full blocks), and the overflow bytes whenever present (they are written
+// once and not reused, so they will not stay cached; eagerly flushing them is
+// the cost that erodes the small-log-window benefit for oversized
+// transactions). Shared by the per-commit drain and the epoch seal's train
+// assembly.
+func (l *TxnLog) pendingSpans(spans []pmem.Span) []pmem.Span {
+	if l.w.cfg.Flush {
+		spans = append(spans, pmem.Span{Off: l.w.slotOff(l.slot), N: l.pos})
+	}
+	if l.extPos > 0 {
+		spans = append(spans, pmem.Span{Off: l.w.ovfOff(l.slot), N: l.extPos})
+	}
+	return spans
+}
+
+// drainPending is the per-commit durable point: clwb over the record's
+// pending spans, then one fence that both orders the state publish and
+// drains the flushes. A single trailing fence replaces the per-site fences
+// the commit path used to issue — fences are pure cost in the simulator
+// (durability depends only on write-back timing), so consolidating them is
+// semantics-preserving.
+func (l *TxnLog) drainPending(clk *sim.Clock) {
+	var buf [2]pmem.Span
+	spans := l.pendingSpans(buf[:0])
+	if len(spans) == 0 {
+		l.w.space.SFence(clk)
+		return
+	}
+	flushStart := clk.Nanos()
+	var lines uint64
+	for _, sp := range spans {
+		l.w.space.CLWB(clk, sp.Off, sp.N)
+		lines += uint64(sp.Lines())
+	}
 	l.w.space.SFence(clk)
+	if l.w.tr != nil {
+		l.w.tr.Span(obs.EvFlushTrain, flushStart, clk.Nanos(), lines, 0)
+	}
+}
 
-	if l.w.cfg.Flush || l.extPos > 0 {
-		flushStart := clk.Nanos()
-		var lines uint64
-		if l.w.cfg.Flush {
-			// Classic NVM logging: force the whole record to the media. The
-			// record is contiguous, so these clwbs merge into full blocks.
-			l.w.space.CLWB(clk, base, l.pos)
-			l.w.space.SFence(clk)
-			lines += uint64(l.pos+63) / 64
-		}
-		if l.extPos > 0 {
-			// Overflow bytes will not stay cached (they are written once and
-			// not reused); flush them eagerly — this is the cost that erodes
-			// the small-log-window benefit for oversized transactions.
-			l.w.space.CLWB(clk, l.w.ovfOff(l.slot), l.extPos)
-			l.w.space.SFence(clk)
-			lines += uint64(l.extPos+63) / 64
-		}
-		if l.w.tr != nil {
-			l.w.tr.Span(obs.EvFlushTrain, flushStart, clk.Nanos(), lines, 0)
-		}
+// Commit publishes the record — op counts, then the COMMITTED state — and
+// drains it: from the trailing fence the transaction is durable (Algorithm 1
+// line 2). This is the per-commit path; group commit uses Publish instead.
+func (l *TxnLog) Commit(clk *sim.Clock) {
+	l.commitStats()
+	l.publishHeader(clk, StateCommitted, 0)
+	l.drainPending(clk)
+}
+
+// Publish is the group-commit publish point: the record becomes visible
+// (StatePublished, tagged with its durability epoch) and its record spans
+// enlist on the epoch board, but nothing is fenced or flushed here. The
+// durable point comes when the epoch seals. The caller enlists its deferred
+// tuple spans via EnlistData and then plays lazy leader with SealExpired.
+// Returns the epoch id the record joined — or 0 when the publisher's clock
+// lags the sealed marker, in which case the record is drained per-commit on
+// the spot (it is durable from the return, like the classic Commit path) and
+// never waits on a leader.
+func (l *TxnLog) Publish(clk *sim.Clock) uint64 {
+	l.commitStats()
+	var buf [2]pmem.Span
+	epoch := l.w.board.enlist(clk, l.pendingSpans(buf[:0]), nil)
+	l.publishHeader(clk, StatePublished, epoch)
+	l.w.slotEpoch[l.slot] = epoch
+	if epoch == 0 {
+		l.drainPending(clk)
+	}
+	return epoch
+}
+
+// EnlistData adds deferred tuple-flush spans to the record's epoch (they
+// ride the seal's data trains, after the marker publish).
+func (l *TxnLog) EnlistData(clk *sim.Clock, epoch uint64, spans []pmem.Span) {
+	l.w.board.enlistData(clk, epoch, spans)
+}
+
+// SealExpired is the lazy leader step: the worker seals every epoch whose
+// boundary its own virtual time has passed, releasing those epochs'
+// followers. Publishers call it once per commit, after EnlistData.
+func (w *Window) SealExpired(clk *sim.Clock) {
+	if w.board != nil {
+		w.board.sealExpired(clk, w.tr)
 	}
 }
 
@@ -379,6 +492,10 @@ func (l *TxnLog) ReadOp(clk *sim.Clock, pos int) (Op, int) {
 type Record struct {
 	TID   uint64
 	State uint64
+	// Epoch is the durability epoch the record published into (0 on the
+	// per-commit path). Recovery under ADR replays a StatePublished record
+	// only when the durable epoch marker covers this id.
+	Epoch uint64
 	Ops   []Op
 }
 
@@ -393,7 +510,7 @@ type recordReader struct {
 	crc     *uint32
 	// scratch receives op headers; the caller provides a long-lived buffer
 	// so each parsed op does not heap-allocate one (see Window.scratch).
-	scratch *[32]byte
+	scratch *[40]byte
 }
 
 func (r recordReader) read(clk *sim.Clock, pos int, dst []byte) {
@@ -489,16 +606,17 @@ func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]R
 	var rep ScanReport
 	slotCap := cfg.SlotBytes - hdrBytes
 	for i := 0; i < cfg.Slots; i++ {
-		var hdr [32]byte
+		var hdr [40]byte
 		space.Read(clk, w.slotOff(i), hdr[:])
 		state := binary.LittleEndian.Uint64(hdr[hdrState:])
-		if state != StateCommitted {
+		if state != StateCommitted && state != StatePublished {
 			continue
 		}
 		tid := binary.LittleEndian.Uint64(hdr[hdrTID:])
 		nops := int(binary.LittleEndian.Uint32(hdr[hdrNops:]))
 		slotLen := int(binary.LittleEndian.Uint32(hdr[hdrLen:]))
 		extLen := int(binary.LittleEndian.Uint32(hdr[hdrExtLen:]))
+		epoch := binary.LittleEndian.Uint64(hdr[hdrEpoch:])
 		if slotLen < 0 || slotLen > slotCap || extLen < 0 || extLen > cfg.OverflowBytes ||
 			nops < 0 || nops > (slotLen+extLen)/opHdrBytes {
 			rep.Torn++
@@ -507,7 +625,7 @@ func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]R
 		total := slotLen + extLen
 		crc := crc32.Update(0, crc32.IEEETable, hdr[hdrTID:hdrTID+8])
 		r := recordReader{space: space, slotOff: w.slotOff(i), ovfOff: w.ovfOff(i), slotCap: slotCap, crc: &crc, scratch: &w.scratch}
-		rec := Record{TID: tid, State: state}
+		rec := Record{TID: tid, State: state, Epoch: epoch}
 		pos, torn := 0, false
 		for k := 0; k < nops; k++ {
 			var op Op
@@ -523,10 +641,11 @@ func ReadRecords(space pmem.Space, clk *sim.Clock, base uint64, cfg Config) ([]R
 			rep.Torn++
 			continue
 		}
-		var cnt [12]byte
+		var cnt [20]byte
 		binary.LittleEndian.PutUint32(cnt[0:], uint32(nops))
 		binary.LittleEndian.PutUint32(cnt[4:], uint32(slotLen))
 		binary.LittleEndian.PutUint32(cnt[8:], uint32(extLen))
+		binary.LittleEndian.PutUint64(cnt[12:], epoch)
 		crc = crc32.Update(crc, crc32.IEEETable, cnt[:])
 		if !DisableChecksumVerify && crc != binary.LittleEndian.Uint32(hdr[hdrCRC:]) {
 			rep.Corrupt++
@@ -546,6 +665,9 @@ func (w *Window) Reset(clk *sim.Clock) {
 	}
 	w.space.SFence(clk)
 	w.cur = 0
+	for i := range w.slotEpoch {
+		w.slotEpoch[i] = 0
+	}
 }
 
 // MaxTID returns the largest TID recorded in any slot header of the window,
