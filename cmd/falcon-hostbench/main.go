@@ -63,16 +63,18 @@ type Run struct {
 
 // Baseline is the tracked file layout.
 type Baseline struct {
+	Schema      string `json:"schema,omitempty"`
 	Description string `json:"description"`
 	Runs        []Run  `json:"runs"`
 }
 
 // parWorkers is set by -parworkers: timed cells run their workers through
-// the deterministic group scheduler. gf carries the shared -groupcommit
-// knobs, applied to every timed cell's engine config.
+// the deterministic group scheduler. cf carries the tool-shared flags,
+// applied to every timed cell's engine config (-groupcommit) and to the
+// extra untimed instrumented cell (-trace*, -stats, -contend, -prom).
 var (
 	parWorkers bool
-	gf         bench.GroupFlag
+	cf         *bench.CommonFlags
 )
 
 // gridRegressionLimit is the -check gate: the run fails when grid_s exceeds
@@ -87,9 +89,7 @@ func main() {
 	procs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS before timing (0 = leave as-is); the effective value is recorded in the run entry")
 	flag.BoolVar(&parWorkers, "parworkers", false, "run the timed cells' workers through the deterministic group scheduler; recorded per entry as worker_par")
 	check := flag.Bool("check", false, "regression gate: compare this run's grid_s against the baseline's first comparable gridded entry and exit 1 on a >10% regression; the run is not appended to the baseline")
-	gf.Register()
-	var tf bench.TraceFlag
-	tf.Register()
+	cf = bench.RegisterCommonFlags(true)
 	flag.Parse()
 
 	if *check && *quick {
@@ -106,7 +106,7 @@ func main() {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Quick:       *quick,
 		WorkerPar:   parWorkers,
-		GroupCommit: gf.Enable,
+		GroupCommit: cf.Group.Enable,
 	}
 	if r.Label == "" {
 		r.Label = "hostbench-" + r.Date
@@ -162,35 +162,35 @@ func main() {
 	save(*out, base)
 	fmt.Println("appended run to", *out)
 
-	// Tracing is never armed during the timed loops above — it would taint
-	// the baseline. With -trace, one extra untimed cell runs traced instead.
-	if tf.Enabled() {
-		tracedCell(&tf)
-		if err := tf.Write(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	// Instrumentation is never armed during the timed loops above — it would
+	// taint the baseline. With -trace / -stats / -contend / -prom, one extra
+	// untimed cell runs instrumented instead.
+	if cf.Trace.Enabled() || cf.Stats || cf.Contend || cf.PromPath != "" {
+		instrumentedCell()
 	}
+	cf.Finish()
 }
 
-// tracedCell runs the same YCSB cell shape as ycsbCell with the tracer armed,
-// outside any timed section.
-func tracedCell(tf *bench.TraceFlag) {
+// instrumentedCell runs the same YCSB cell shape as ycsbCell with the flag-
+// requested instrumentation armed, outside any timed section.
+func instrumentedCell() {
 	const workers, txns, warmup = 8, 600, 150
-	cfg := gf.Apply(core.FalconConfig())
+	cfg := cf.Group.Apply(core.FalconConfig())
 	cfg.Threads = workers
 	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
 	if err == nil {
 		var res *bench.Result
 		res, err = bench.Run(e, "YCSB-A",
-			bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup, Trace: tf.Options()},
+			cf.Options(bench.Options{Workers: workers, TxnsPerWorker: txns, WarmupPerWorker: warmup}),
 			func(w int) (int, error) { return 0, d.Next(w) })
 		if err == nil {
-			tf.Collect("Falcon/YCSB-A Zipfian/8 (extra traced cell)", res.Trace)
+			label := "Falcon/YCSB-A Zipfian/8 (extra instrumented cell)"
+			cf.Collect(label, res)
+			fmt.Print(cf.CellText(label, res))
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traced cell:", err)
+		fmt.Fprintln(os.Stderr, "instrumented cell:", err)
 		os.Exit(1)
 	}
 }
@@ -245,6 +245,7 @@ func load(path string) Baseline {
 }
 
 func save(path string, b Baseline) {
+	b.Schema = bench.HostPerfSchema
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
@@ -300,7 +301,7 @@ func best3(f func() (float64, float64, float64)) (a, b, c float64) {
 
 func ycsbCell() (seconds, nsPerTxn float64) {
 	const workers, txns, warmup = 8, 600, 150
-	cfg := gf.Apply(core.FalconConfig())
+	cfg := cf.Group.Apply(core.FalconConfig())
 	cfg.Threads = workers
 	start := time.Now()
 	e, d, err := bench.NewYCSB(cfg, ycsb.Config{Records: 50_000, Workload: ycsb.A, Distribution: ycsb.Zipfian})
@@ -362,7 +363,7 @@ func fig11Grid(par int) float64 {
 	for _, wl := range workloads {
 		for _, ecfg := range bench.AblationConfigs() {
 			for _, th := range threads {
-				wlRun, eng, t := wl.run, gf.Apply(ecfg), th
+				wlRun, eng, t := wl.run, cf.Group.Apply(ecfg), th
 				cells = append(cells, bench.Cell{
 					Label: fmt.Sprintf("%s/%s/%d", eng.Name, wl.name, t),
 					Run: func() (*bench.Result, error) {

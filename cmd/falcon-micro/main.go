@@ -11,7 +11,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"falcon/internal/bench"
 	"falcon/internal/obs"
@@ -22,28 +21,27 @@ import (
 func main() {
 	writes := flag.Int("writes", 1_000_000, "number of random writes per configuration")
 	region := flag.Uint64("region", 512<<20, "target region size in bytes")
-	stats := flag.Bool("stats", false, "print an observability snapshot per configuration")
-	var tf bench.TraceFlag
-	tf.Register()
+	cf := bench.RegisterCommonFlags(false) // no engine: group commit / contend do not apply
 	flag.Parse()
 
 	fmt.Println("Figure 3: bandwidth for data stores w/wo clwbs (eADR)")
 	fmt.Printf("%-8s %-18s %-18s\n", "size", "store+sfence", "store+clwb+sfence")
 	for _, size := range []int{256, 128, 64} {
-		plain, psnap, pdump := run(*writes, size, *region, false, tf.Options())
-		hinted, hsnap, hdump := run(*writes, size, *region, true, tf.Options())
-		tf.Collect(fmt.Sprintf("%dB/store+sfence", size), pdump)
-		tf.Collect(fmt.Sprintf("%dB/store+clwb+sfence", size), hdump)
+		plain, psnap, pdump := run(*writes, size, *region, false, cf.Trace.Options())
+		hinted, hsnap, hdump := run(*writes, size, *region, true, cf.Trace.Options())
+		plainLabel := fmt.Sprintf("%dB/store+sfence", size)
+		hintLabel := fmt.Sprintf("%dB/store+clwb+sfence", size)
+		cf.Trace.Collect(plainLabel, pdump)
+		cf.Trace.Collect(hintLabel, hdump)
+		cf.CollectSnapshot(plainLabel, psnap)
+		cf.CollectSnapshot(hintLabel, hsnap)
 		fmt.Printf("%-8d %-18s %-18s\n", size, fmtBW(plain), fmtBW(hinted))
-		if *stats {
+		if cf.Stats {
 			fmt.Printf("--- stats: size=%d store+sfence ---\n%s", size, psnap.Text())
 			fmt.Printf("--- stats: size=%d store+clwb+sfence ---\n%s", size, hsnap.Text())
 		}
 	}
-	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cf.Finish()
 }
 
 // run measures one configuration and returns bytes/virtual-second plus the

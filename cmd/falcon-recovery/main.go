@@ -26,15 +26,14 @@ import (
 func main() {
 	threads := flag.Int("threads", 8, "worker threads")
 	txns := flag.Int("txns", 300, "transactions per worker before the crash")
-	stats := flag.Bool("stats", false, "print the recovery-phase observability breakdown")
 	faults := flag.Int("faults", 0, "run the crash-consistency matrix with this many seeded crashes per cell")
 	seed := flag.Uint64("seed", 1, "first crash seed (seeds run seed..seed+faults-1)")
 	preset := flag.String("preset", "", "restrict the crash matrix to one engine preset by name")
 	mode := flag.String("mode", "", "restrict the crash matrix to one persistence mode: eadr or adr")
 	traceDir := flag.String("trace-dir", "", "with -faults: write each failing seed's pre-crash Chrome trace into this directory")
-	tf.Register()
-	gf.Register()
+	cf = bench.RegisterCommonFlags(true)
 	flag.Parse()
+	stats := &cf.Stats
 
 	if *faults > 0 {
 		os.Exit(runCrashMatrix(*faults, *seed, *preset, *mode, *traceDir))
@@ -43,7 +42,7 @@ func main() {
 	recordCounts := []uint64{20_000, 50_000, 100_000, 200_000}
 	engines := []core.Config{core.FalconConfig(), core.FalconDRAMIndexConfig(), core.InpConfig(), core.ZenSConfig()}
 	for i := range engines {
-		engines[i] = gf.Apply(engines[i])
+		engines[i] = cf.Group.Apply(engines[i])
 	}
 
 	fmt.Printf("Recovery time (virtual ms) vs data size, %d threads\n", *threads)
@@ -84,20 +83,16 @@ func main() {
 			fmt.Println(e2.ObsSnapshot().Text())
 		}
 	}
-	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cf.Finish()
 }
 
-// tf carries the shared -trace flags; in the recovery study it captures the
-// pre-crash workload of each cell (the crash matrix uses -trace-dir instead).
-// gf flips the recovery-study engines into group commit; the crash matrix
-// carries its own group-commit cells instead.
-var (
-	tf bench.TraceFlag
-	gf bench.GroupFlag
-)
+// cf carries the tool-shared flags. -trace captures the pre-crash workload
+// of each cell (the crash matrix uses -trace-dir instead); -groupcommit
+// flips the recovery-study engines into group commit (the crash matrix
+// carries its own group-commit cells); -stats prints the recovery-phase
+// breakdown; -contend arms the observatory over the pre-crash workload, whose
+// report reaches the -prom export.
+var cf *bench.CommonFlags
 
 // runCrashMatrix runs the seeded crash-consistency matrix and returns the
 // process exit code (1 if any cell had an oracle violation).
@@ -153,12 +148,12 @@ func crashRecover(ecfg core.Config, records uint64, threads, txns int, label str
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := bench.Run(e, "pre-crash", bench.Options{Workers: threads, TxnsPerWorker: txns, Trace: tf.Options()},
+	res, err := bench.Run(e, "pre-crash", cf.Options(bench.Options{Workers: threads, TxnsPerWorker: txns}),
 		func(w int) (int, error) { return 0, d.Next(w) })
 	if err != nil {
 		return nil, nil, err
 	}
-	tf.Collect(label, res.Trace)
+	cf.Collect(label, res)
 	sys := e.System().Crash()
 	e2, rep, err := core.Recover(sys, ecfg)
 	return e2, rep, err

@@ -37,12 +37,10 @@ func main() {
 	par := flag.Int("par", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
 	flag.BoolVar(&parWorkers, "parworkers", false, "run each cell's workers through the deterministic group scheduler (results independent of GOMAXPROCS; a different simulated machine than the default free-running mode)")
 	jsonPath := flag.String("json", "", "also write per-cell results (incl. latency histograms) as JSON to this file")
-	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per sweep cell")
 	flag.StringVar(&mdPath, "md", "", "splice generated phase-share tables into this markdown file (e.g. EXPERIMENTS.md)")
 	streamPath := flag.String("stream", "", "stream per-epoch snapshots as JSON lines to this file while cells run")
 	flag.IntVar(&streamEvery, "stream-every", 200, "with -stream: epoch size in transactions per worker")
-	tf.Register()
-	gf.Register()
+	cf = bench.RegisterCommonFlags(true)
 	flag.Parse()
 
 	if *streamPath != "" {
@@ -61,34 +59,26 @@ func main() {
 	} else {
 		fig11(threads, *txns, *warmup, *records, *par, *jsonPath)
 	}
-	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cf.Finish()
 }
 
-// showStats is set by -stats: print each cell's observability snapshot
-// after its table row.
-var showStats bool
-
-// tf carries the shared -trace flags; mdPath/streamW/streamEvery the
-// markdown and streaming exports; parWorkers flips every cell into the
-// deterministic worker-parallel scheduler. All are written once in main
-// before any cell runs.
+// cf carries the tool-shared flags (-trace*, -groupcommit, -stats, -contend,
+// -prom); mdPath/streamW/streamEvery the markdown and streaming exports;
+// parWorkers flips every cell into the deterministic worker-parallel
+// scheduler. All are written once in main before any cell runs.
 var (
-	tf          bench.TraceFlag
-	gf          bench.GroupFlag
+	cf          *bench.CommonFlags
 	mdPath      string
 	streamW     *bench.StreamWriter
 	streamEvery int
 	parWorkers  bool
 )
 
-// cellOptions decorates a cell's bench.Options with the sweep-wide trace and
-// streaming hooks. label is the cell's grid label, used to tag trace tracks
-// and stream lines.
+// cellOptions decorates a cell's bench.Options with the sweep-wide trace,
+// observatory and streaming hooks. label is the cell's grid label, used to
+// tag trace tracks and stream lines.
 func cellOptions(label string, opts bench.Options) bench.Options {
-	opts.Trace = tf.Options()
+	opts = cf.Options(opts)
 	opts.ParWorkers = parWorkers
 	if streamW != nil && streamEvery > 0 {
 		opts.EpochTxns = streamEvery
@@ -101,9 +91,10 @@ func cellOptions(label string, opts bench.Options) bench.Options {
 	return opts
 }
 
-// collectCell routes one finished cell into the trace file and the stream.
+// collectCell routes one finished cell into the trace file, the -prom export
+// and the stream.
 func collectCell(label string, res *bench.Result) {
-	tf.Collect(label, res.Trace)
+	cf.Collect(label, res)
 	if streamW != nil {
 		if err := streamW.Emit(bench.CellDoneLine(label, res)); err != nil {
 			fmt.Fprintln(os.Stderr, "stream:", err)
@@ -127,7 +118,7 @@ func writeMD(meta []jsonCell) {
 		})
 	}
 	marker := "phase-shares"
-	if gf.Enable {
+	if cf.Group.Enable {
 		marker = "phase-shares-groupcommit"
 	}
 	if err := bench.SpliceMarkdown(mdPath, marker, bench.PhaseShareMarkdown(grid)); err != nil {
@@ -135,8 +126,8 @@ func writeMD(meta []jsonCell) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "phase-share tables spliced into %s (%s)\n", mdPath, marker)
-	if gf.Enable {
-		return // the host-speedup table below is grid-independent; one copy suffices
+	if cf.Group.Enable {
+		return // the tables below are grid-independent; one copy suffices
 	}
 
 	// The host-speedup table times its own worker-parallel cell at each
@@ -151,6 +142,19 @@ func writeMD(meta []jsonCell) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "host-speedup table spliced into %s\n", mdPath)
+
+	// The hot-key heat tables run their own observatory-armed Uniform vs
+	// Zipfian cells — also grid-independent.
+	heat, err := bench.HeatTablesMarkdown()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "md export:", err)
+		return
+	}
+	if err := bench.SpliceMarkdown(mdPath, "hot-key-heat", heat); err != nil {
+		fmt.Fprintln(os.Stderr, "md export:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "hot-key heat tables spliced into %s\n", mdPath)
 }
 
 func parseInts(s string) []int {
@@ -168,6 +172,7 @@ func parseInts(s string) []int {
 
 // jsonCell is one grid cell in the -json export.
 type jsonCell struct {
+	Schema   string        `json:"schema"`
 	Figure   string        `json:"figure"`
 	Workload string        `json:"workload"`
 	Engine   string        `json:"engine"`
@@ -217,7 +222,7 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 	// the same order the tables render in), run them, then render.
 	engines := bench.AblationConfigs()
 	for i := range engines {
-		engines[i] = gf.Apply(engines[i])
+		engines[i] = cf.Group.Apply(engines[i])
 	}
 	var cells []bench.Cell
 	var meta []jsonCell
@@ -234,7 +239,8 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 						return wlRun(cfg, t, label)
 					},
 				})
-				meta = append(meta, jsonCell{Figure: "11", Workload: wl.name, Engine: ecfg.Name, Threads: th})
+				meta = append(meta, jsonCell{Schema: bench.SweepCellSchema,
+					Figure: "11", Workload: wl.name, Engine: ecfg.Name, Threads: th})
 			}
 		}
 	}
@@ -270,9 +276,8 @@ func fig11(threads []int, txns, warmup int, records uint64, par int, jsonPath st
 					continue
 				}
 				fmt.Printf("%10.3f", cr.Res.MTxnPerSec)
-				if showStats {
-					blocks = append(blocks, fmt.Sprintf("--- stats: %s %s %d threads ---\n%s",
-						ecfg.Name, wl.name, th, cr.Res.Obs.Text()))
+				if txt := cf.CellText(fmt.Sprintf("%s/%s/%d", ecfg.Name, wl.name, th), cr.Res); txt != "" {
+					blocks = append(blocks, txt)
 				}
 			}
 			fmt.Println()
@@ -303,7 +308,7 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 	sizes := []int{256, 1024, 4096, 16 << 10, 64 << 10}
 	engines := []core.Config{core.FalconConfig(), core.InpConfig(), core.OutpConfig()}
 	for i := range engines {
-		engines[i] = gf.Apply(engines[i])
+		engines[i] = cf.Group.Apply(engines[i])
 	}
 	if len(threads) > 2 {
 		threads = []int{threads[1], threads[len(threads)-1]}
@@ -324,7 +329,8 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 						return runTupleSize(cfg, t, s, txns, warmup, label)
 					},
 				})
-				meta = append(meta, jsonCell{Figure: "12", Workload: "YCSB-A Uniform",
+				meta = append(meta, jsonCell{Schema: bench.SweepCellSchema,
+					Figure: "12", Workload: "YCSB-A Uniform",
 					Engine: ecfg.Name, Threads: th, Extra: fmtSize(sz)})
 			}
 		}
@@ -361,9 +367,8 @@ func fig12(threads []int, txns, warmup, par int, jsonPath string) {
 					continue
 				}
 				fmt.Printf("%10.1f", cr.Res.MTxnPerSec*1000)
-				if showStats {
-					blocks = append(blocks, fmt.Sprintf("--- stats: %s-%d tuple=%s ---\n%s",
-						ecfg.Name, th, fmtSize(sz), cr.Res.Obs.Text()))
+				if txt := cf.CellText(fmt.Sprintf("%s-%d/%s", ecfg.Name, th, fmtSize(sz)), cr.Res); txt != "" {
+					blocks = append(blocks, txt)
 				}
 			}
 			fmt.Println()

@@ -23,9 +23,7 @@ func main() {
 	warmup := flag.Int("warmup", 100, "warmup transactions per worker")
 	latency := flag.Bool("latency", false, "run Figure 8 (latency, OCC) instead of Figure 7")
 	algos := flag.String("cc", "", "comma-free CC filter, e.g. OCC (default: all six)")
-	flag.BoolVar(&showStats, "stats", false, "print an observability snapshot per engine × CC cell")
-	tf.Register()
-	gf.Register()
+	cf = bench.RegisterCommonFlags(true)
 	flag.Parse()
 
 	if *warehouses == 0 {
@@ -35,12 +33,12 @@ func main() {
 		}
 	}
 	wcfg := tpcc.Config{Warehouses: *warehouses, Items: *items, CustomersPerDistrict: *customers}
-	opts := bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup,
-		Classes: 5, Trace: tf.Options()}
+	opts := cf.Options(bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup,
+		Classes: 5})
 
 	if *latency {
 		fig8(wcfg, opts)
-		traceDone()
+		cf.Finish()
 		return
 	}
 
@@ -74,11 +72,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, ecfg.Name, a, err)
 				continue
 			}
-			tf.Collect(fmt.Sprintf("%s/%s", ecfg.Name, a), res.Trace)
+			label := fmt.Sprintf("%s/%s", ecfg.Name, a)
+			cf.Collect(label, res)
 			fmt.Printf("%10.3f", res.MTxnPerSec)
-			if showStats {
-				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s ---\n%s",
-					ecfg.Name, a, res.Obs.Text()))
+			if txt := cf.CellText(label, res); txt != "" {
+				blocks = append(blocks, txt)
 			}
 		}
 		fmt.Println()
@@ -86,29 +84,15 @@ func main() {
 			fmt.Print(b)
 		}
 	}
-	traceDone()
+	cf.Finish()
 }
 
-// showStats is set by -stats: print each cell's observability snapshot
-// after its table row.
-var showStats bool
-
-// tf carries the shared -trace flags for both figure modes; gf the shared
-// -groupcommit knobs.
-var (
-	tf bench.TraceFlag
-	gf bench.GroupFlag
-)
-
-func traceDone() {
-	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+// cf carries the tool-shared flags (-trace*, -groupcommit, -stats, -contend,
+// -prom) for both figure modes.
+var cf *bench.CommonFlags
 
 func runOne(ecfg core.Config, algo cc.Algo, wcfg tpcc.Config, opts bench.Options) (*bench.Result, error) {
-	ecfg = gf.Apply(ecfg)
+	ecfg = cf.Group.Apply(ecfg)
 	ecfg.Threads = opts.Workers
 	ecfg.CC = algo
 	e, d, err := bench.NewTPCC(ecfg, wcfg)
@@ -131,13 +115,14 @@ func fig8(wcfg tpcc.Config, opts bench.Options) {
 			fmt.Fprintln(os.Stderr, ecfg.Name, err)
 			continue
 		}
-		tf.Collect(ecfg.Name+"/OCC", res.Trace)
+		label := ecfg.Name + "/OCC"
+		cf.Collect(label, res)
 		no, pay := int(tpcc.TxnNewOrder), int(tpcc.TxnPayment)
 		fmt.Printf("%-24s %12.2f %12.2f %12.2f %12.2f\n", ecfg.Name,
 			us(res.LatAvgNanos[no]), us(res.LatP95Nanos[no]),
 			us(res.LatAvgNanos[pay]), us(res.LatP95Nanos[pay]))
-		if showStats {
-			fmt.Printf("--- stats: %s OCC ---\n%s", ecfg.Name, res.Obs.Text())
+		if txt := cf.CellText(label, res); txt != "" {
+			fmt.Print(txt)
 		}
 	}
 }

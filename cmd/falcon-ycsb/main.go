@@ -21,11 +21,7 @@ func main() {
 	txns := flag.Int("txns", 1000, "measured transactions per worker")
 	warmup := flag.Int("warmup", 300, "warmup transactions per worker")
 	workloads := flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
-	stats := flag.Bool("stats", false, "print an observability snapshot per engine × workload cell")
-	var tf bench.TraceFlag
-	var gf bench.GroupFlag
-	tf.Register()
-	gf.Register()
+	cf := bench.RegisterCommonFlags(true)
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -49,7 +45,7 @@ func main() {
 	fmt.Println()
 
 	for _, ecfg := range bench.EngineConfigs() {
-		ecfg = gf.Apply(ecfg)
+		ecfg = cf.Group.Apply(ecfg)
 		ecfg.Threads = *threads
 		ecfg.CC = cc.OCC
 		fmt.Printf("%-24s", ecfg.Name)
@@ -62,18 +58,18 @@ func main() {
 				continue
 			}
 			res, err := bench.Run(e, wcfg.Workload.String(),
-				bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup, Trace: tf.Options()},
+				cf.Options(bench.Options{Workers: *threads, TxnsPerWorker: *txns, WarmupPerWorker: *warmup}),
 				func(w int) (int, error) { return 0, d.Next(w) })
 			if err != nil {
 				fmt.Printf("%12s", "ERR")
 				fmt.Fprintln(os.Stderr, ecfg.Name, wcfg.Workload, err)
 				continue
 			}
-			tf.Collect(fmt.Sprintf("%s/%s/%s", ecfg.Name, wcfg.Workload, wcfg.Distribution), res.Trace)
+			label := fmt.Sprintf("%s/%s/%s", ecfg.Name, wcfg.Workload, wcfg.Distribution)
+			cf.Collect(label, res)
 			fmt.Printf("%12.3f", res.MTxnPerSec)
-			if *stats {
-				blocks = append(blocks, fmt.Sprintf("--- stats: %s %s/%s ---\n%s",
-					ecfg.Name, wcfg.Workload, wcfg.Distribution, res.Obs.Text()))
+			if txt := cf.CellText(label, res); txt != "" {
+				blocks = append(blocks, txt)
 			}
 		}
 		fmt.Println()
@@ -81,8 +77,5 @@ func main() {
 			fmt.Print(b)
 		}
 	}
-	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cf.Finish()
 }

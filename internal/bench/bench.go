@@ -34,6 +34,10 @@ type Options struct {
 	// measured phase (warmup is never traced); the dump lands on
 	// Result.Trace.
 	Trace *obs.TraceOptions
+	// Contend arms the contention & flush-amplification observatory for the
+	// measured phase (warmup is never attributed); the report lands on
+	// Result.Obs.Contend.
+	Contend bool
 	// EpochTxns, with OnEpoch, splits the measured phase into epochs of
 	// this many transactions per worker: after each epoch the workers
 	// quiesce and OnEpoch receives the cumulative post-warmup snapshot —
@@ -190,6 +194,12 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 		tracer = obs.NewTracer(e.Config().Threads, *opts.Trace)
 		e.SetTracer(tracer)
 	}
+	// The observatory is armed in the same quiescent window, after the tracer
+	// so conflict exemplars can capture span stacks. obs0.Contend is nil, so
+	// Sub passes the measured-phase report through untouched.
+	if opts.Contend {
+		e.SetContend(e.NewObservatory())
+	}
 
 	if opts.EpochTxns > 0 && opts.OnEpoch != nil {
 		// Epoch streaming: run the measured phase in chunks; between chunks
@@ -233,6 +243,9 @@ func Run(e *core.Engine, workload string, opts Options, fn TxnFunc) (*Result, er
 	if tracer != nil {
 		res.Trace = tracer.Dump()
 		e.SetTracer(nil)
+	}
+	if opts.Contend {
+		e.SetContend(nil)
 	}
 	return res, nil
 }

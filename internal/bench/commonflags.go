@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"falcon/internal/obs"
+)
+
+// CommonFlags bundles the flag wiring the cmd tools used to repeat by hand:
+// trace capture (-trace, -trace-sample, -trace-autopsy), leader-based group
+// commit (-groupcommit, -epochns), per-cell observability snapshots (-stats),
+// the contention & flush-amplification observatory (-contend), and Prometheus
+// text exposition (-prom). Collect and CollectSnapshot are mutex-guarded, so
+// parallel sweep runners may call them directly.
+type CommonFlags struct {
+	Trace TraceFlag
+	Group GroupFlag
+	// Stats is set by -stats: print each cell's observability snapshot.
+	Stats bool
+	// Contend is set by -contend: arm the contention & flush-amplification
+	// observatory for every cell and print its autopsy report.
+	Contend bool
+	// PromPath is set by -prom: write every collected cell snapshot into one
+	// Prometheus exposition file, samples distinguished by a `cell` label.
+	PromPath string
+
+	mu   sync.Mutex
+	prom []obs.NamedSnapshot
+}
+
+// RegisterCommonFlags installs the shared tool flags on the default flag set
+// and returns their holder. engine additionally installs the knobs that only
+// make sense against a transactional engine (-groupcommit, -epochns,
+// -contend); falcon-micro, which drives the pmem layer bare, leaves it off.
+func RegisterCommonFlags(engine bool) *CommonFlags {
+	f := &CommonFlags{}
+	f.Trace.Register()
+	if engine {
+		f.Group.Register()
+		flag.BoolVar(&f.Contend, "contend", false,
+			"arm the contention & flush-amplification observatory for every cell and print its autopsy report (conflict attribution, key-space heat, wait-for graph, flush amplification)")
+	}
+	flag.BoolVar(&f.Stats, "stats", false, "print an observability snapshot per cell")
+	flag.StringVar(&f.PromPath, "prom", "", "write per-cell snapshots in Prometheus text exposition format (0.0.4) to this file")
+	return f
+}
+
+// Options decorates a cell's Options with the flag-driven knobs: trace
+// capture and observatory arming. The other fields pass through untouched.
+func (f *CommonFlags) Options(o Options) Options {
+	o.Trace = f.Trace.Options()
+	if f.Contend {
+		o.Contend = true
+	}
+	return o
+}
+
+// Collect routes one finished cell into the trace file and the -prom export.
+func (f *CommonFlags) Collect(label string, res *Result) {
+	f.Trace.Collect(label, res.Trace)
+	f.CollectSnapshot(label, res.Obs)
+}
+
+// CollectSnapshot records one labelled snapshot for the -prom export; a no-op
+// when -prom is off. Tools without a bench.Result (falcon-micro) feed their
+// snapshots here directly.
+func (f *CommonFlags) CollectSnapshot(label string, snap obs.Snapshot) {
+	if f.PromPath == "" {
+		return
+	}
+	f.mu.Lock()
+	f.prom = append(f.prom, obs.NamedSnapshot{Label: label, Snap: snap})
+	f.mu.Unlock()
+}
+
+// CellText renders the per-cell text block the flags ask for: the -stats
+// snapshot and/or the -contend autopsy. Empty when neither flag is set, so
+// callers can print the result unconditionally.
+func (f *CommonFlags) CellText(label string, res *Result) string {
+	var b strings.Builder
+	if f.Stats {
+		fmt.Fprintf(&b, "--- stats: %s ---\n%s", label, res.Obs.Text())
+	}
+	if f.Contend && res.Obs.Contend != nil {
+		fmt.Fprintf(&b, "--- contention: %s ---\n%s", label, res.Obs.Contend.Autopsy())
+	}
+	return b.String()
+}
+
+// Finish writes the trace file and the Prometheus export. Call once after all
+// cells ran; exits nonzero on export errors, matching the tools' established
+// behavior for -trace failures.
+func (f *CommonFlags) Finish() {
+	if err := f.Trace.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.writeProm(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func (f *CommonFlags) writeProm() error {
+	if f.PromPath == "" {
+		return nil
+	}
+	f.mu.Lock()
+	cells := f.prom
+	f.mu.Unlock()
+	if len(cells) == 0 {
+		return fmt.Errorf("prom: no snapshots collected for %s", f.PromPath)
+	}
+	out, err := os.Create(f.PromPath)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheusCells(out, cells); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prom: %s (%d cells)\n", f.PromPath, len(cells))
+	return nil
+}

@@ -38,6 +38,7 @@ func (s *StreamWriter) Emit(v any) error {
 // cell completes. Phase nanos are keyed by name so the lines are
 // self-describing under jq.
 type EpochLine struct {
+	Schema       string            `json:"schema"`
 	Cell         string            `json:"cell"`
 	Epoch        int               `json:"epoch"`
 	Done         bool              `json:"done,omitempty"`
@@ -60,6 +61,7 @@ func EpochSnapshotLine(cell string, epoch int, snap obs.Snapshot) EpochLine {
 		}
 	}
 	return EpochLine{
+		Schema:      StreamSchema,
 		Cell:        cell,
 		Epoch:       epoch,
 		Commits:     snap.Commits,

@@ -96,6 +96,23 @@ const (
 	WTSMaskTO = LockBit - 1
 )
 
+// HolderTID extracts the writer TID encoded in a shadow word under the
+// algorithm's layout — the conflict observatory uses it to attribute a
+// failed lock or version check to the holding transaction. Under 2PL the
+// word carries a meaningful writer TID only while write-locked; for an
+// unlocked word the returned value is the last writer's timestamp, which is
+// still the right attribution for version conflicts.
+func HolderTID(a Algo, word uint64) uint64 {
+	if a.Base() == TwoPL {
+		return word & WTSMask2PL
+	}
+	return word & WTSMaskTO
+}
+
+// TIDWorker recovers the worker thread id from a TID ({seq << 8 | thread},
+// see TIDGen).
+func TIDWorker(tid uint64) int { return int(tid & 0xFF) }
+
 // TIDGen issues transaction IDs. Following the paper's footnote, a TID is
 // {timestamp << 8 | thread_id}: the high bits come from a monotone clock, the
 // low byte from the worker thread, so two threads can never draw the same

@@ -135,6 +135,7 @@ func (tx *Txn) applyWriteSet() []applyEntry {
 			tx.applyInsert(a.ins)
 			markTouched(a.ins.t, a.ins.slot)
 			tx.tstat(a.ins.t).Writes++
+			tx.cw.LogicalBytes(uint64(a.ins.t.id), uint64(a.ins.t.schema.TupleSize()))
 			continue
 		}
 		w := a.w
@@ -143,6 +144,7 @@ func (tx *Txn) applyWriteSet() []applyEntry {
 			op, _ := tx.log.ReadOp(tx.clk, w.logPos)
 			w.t.heap.WriteRange(tx.clk, w.slot, w.off, op.Data)
 			markTouched(w.t, w.slot)
+			tx.cw.LogicalBytes(uint64(w.t.id), uint64(w.n))
 		case wal.OpDelete:
 			tx.applyDelete(w)
 		}
@@ -338,11 +340,14 @@ func (tx *Txn) occValidate() bool {
 		lock, _ := tx.metaFor(m.t, m.slot)
 		pre, ok := cc.TryLockTO(lock)
 		if !ok {
+			tx.noteConflict(m.t, m.key, m.slot, lock.Load(), obs.ConflictValidation)
 			return false
 		}
-		tx.locks = append(tx.locks, lockRef{t: m.t, slot: m.slot, pre: pre, vt: tx.clk.Nanos()})
+		tx.locks = append(tx.locks, lockRef{t: m.t, slot: m.slot, key: m.key, pre: pre, vt: tx.clk.Nanos()})
 		if liveErr(m.t, tx.clk, m.slot) != nil {
-			return false // superseded or deleted while we ran
+			// Superseded or deleted while we ran.
+			tx.noteConflict(m.t, m.key, m.slot, pre, obs.ConflictValidation)
+			return false
 		}
 	}
 	for i := range tx.reads {
@@ -357,6 +362,7 @@ func (tx *Txn) occValidate() bool {
 		if cc.Locked(cur) && cc.WTSTO(cur) == cc.WTSTO(r.word) && tx.selfLocked(r.t, r.slot) {
 			continue
 		}
+		tx.noteConflict(r.t, r.key, r.slot, cur, obs.ConflictValidation)
 		return false
 	}
 	return true
@@ -598,5 +604,6 @@ func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn f
 func (tx *Txn) readSlot(t *Table, key, slot uint64, dst []byte) error {
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
 	tx.tstat(t).Reads++
+	tx.cw.Touch(int(t.id), key)
 	return tx.readResolved(t, key, slot, 0, t.schema.TupleSize(), dst)
 }

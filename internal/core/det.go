@@ -237,11 +237,11 @@ func (tx *Txn) metaFor(t *Table, slot uint64) (lock, readTS *atomic.Uint64) {
 
 // detRecordRead records a non-OCC read for barrier validation (OCC reads are
 // already recorded, with their vtime, for its own validation).
-func (tx *Txn) detRecordRead(t *Table, slot uint64) {
+func (tx *Txn) detRecordRead(t *Table, slot, key uint64) {
 	if tx.dt == nil {
 		return
 	}
-	tx.reads = append(tx.reads, readRef{t: t, slot: slot, vt: tx.clk.Nanos()})
+	tx.reads = append(tx.reads, readRef{t: t, slot: slot, key: key, vt: tx.clk.Nanos()})
 }
 
 // detRecordScan records a table scan's completion vtime (phantom check).
@@ -362,6 +362,7 @@ func (tx *Txn) commitDet() error {
 // worker) order. See the package comment at the top of this file.
 func (e *Engine) detReplay(atts []*sim.Attempt) {
 	d := e.det
+	e.contendObs.BarrierTick()
 	for k := range d.wrote {
 		delete(d.wrote, k)
 	}
@@ -421,6 +422,7 @@ func (d *detState) validate(tx *Txn) (obs.AbortReason, bool) {
 	if tx.dt.scanVts != nil {
 		for tab, svt := range tx.dt.scanVts {
 			if first, ok := d.tmods[tab]; ok && svt > first {
+				tx.noteConflict(tx.e.tables[tab], 0, 0, 0, obs.ConflictDetBarrier)
 				return reason, false
 			}
 		}
@@ -428,6 +430,7 @@ func (d *detState) validate(tx *Txn) (obs.AbortReason, bool) {
 	for i := range tx.reads {
 		r := &tx.reads[i]
 		if w, ok := d.wrote[detSlot{r.t.id, r.slot}]; ok && r.vt > w.firstC {
+			tx.noteConflict(r.t, r.key, r.slot, 0, obs.ConflictDetBarrier)
 			return reason, false
 		}
 	}
@@ -437,12 +440,14 @@ func (d *detState) validate(tx *Txn) (obs.AbortReason, bool) {
 			continue
 		}
 		if w, ok := d.wrote[detSlot{l.t.id, l.slot}]; ok && (w.structural || l.vt < w.lastC) {
+			tx.noteConflict(l.t, l.key, l.slot, 0, obs.ConflictDetBarrier)
 			return reason, false
 		}
 	}
 	for i := range tx.inserts {
 		ins := &tx.inserts[i]
 		if _, dup := d.insKeys[detKey{ins.t.id, ins.key}]; dup {
+			tx.noteConflict(ins.t, ins.key, ins.slot, 0, obs.ConflictDetBarrier)
 			return reason, false
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"falcon/internal/index"
 	"falcon/internal/layout"
 	"falcon/internal/obs"
+	"falcon/internal/obs/contend"
 	"falcon/internal/pmem"
 	"falcon/internal/sim"
 	"falcon/internal/version"
@@ -79,6 +80,11 @@ type Engine struct {
 	// nil pointer tests.
 	tracer  *obs.Tracer
 	tracerW []*obs.WorkerTracer
+	// contendObs/contendW arm the contention & flush-amplification
+	// observatory (SetContend). Both are nil in the common unarmed case, so
+	// the instrumented sites pay only nil pointer tests.
+	contendObs *contend.Observatory
+	contendW   []*contend.Worker
 	// recPhases holds the recovery-path phase accounting when this engine
 	// was produced by Recover (nil for freshly created engines).
 	recPhases *obs.PhaseSet
@@ -264,6 +270,11 @@ func (e *Engine) initObs() {
 			e.recPhases.AddTo(&s.PhaseNanos)
 		}
 	})
+	e.reg.Register("contend", func(s *obs.Snapshot) {
+		if e.contendObs != nil {
+			s.Contend = e.contendObs.Report()
+		}
+	})
 	e.reg.Register("tables", func(s *obs.Snapshot) {
 		if len(e.tables) == 0 {
 			return
@@ -313,6 +324,9 @@ func (e *Engine) SetTracer(tr *obs.Tracer) {
 		for _, w := range e.windows {
 			w.SetTrace(nil)
 		}
+		for _, cw := range e.contendW {
+			cw.SetTracer(nil)
+		}
 		e.sys.SetTrace(nil)
 		return
 	}
@@ -322,6 +336,10 @@ func (e *Engine) SetTracer(tr *obs.Tracer) {
 	}
 	for i, w := range e.windows {
 		w.SetTrace(tr.Worker(i))
+		// The observatory's exemplar capture rides on the worker tracers.
+		if e.contendW != nil {
+			e.contendW[i].SetTracer(e.tracerW[i])
+		}
 	}
 	e.sys.SetTrace(tr.PmemTrace)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"falcon/internal/cc"
+	"falcon/internal/obs"
 )
 
 // ReadForUpdate reads the tuple for key while acquiring write intent
@@ -23,6 +24,7 @@ func (tx *Txn) readForUpdate(t *Table, key uint64, off, n int, dst []byte) error
 	if tx.ro {
 		return ErrReadOnly
 	}
+	tx.cw.Touch(int(t.id), key)
 	if ins := tx.findInsert(t, key); ins != nil {
 		tx.copyPending(ins.t, ins.data, ins.logPos, off, n, dst)
 		tx.overlayOwnWrites(t, ins.slot, off, n, dst)
@@ -40,27 +42,27 @@ func (tx *Txn) readForUpdate(t *Table, key uint64, off, n int, dst []byte) error
 		if !tx.ownsWrite(t, slot) {
 			word := lock.Load()
 			if cc.Locked(word) {
-				return ErrConflict
+				return tx.ccConflict(t, key, slot, word, obs.ConflictLockFail)
 			}
 			flags := t.heap.ReadFlags(tx.clk, slot)
 			tx.readPayload(t, key, slot, off, n, dst)
 			if lock.Load() != word {
-				return ErrConflict
+				return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictTornRead)
 			}
 			if err := flagsErr(flags); err != nil {
 				return err
 			}
-			tx.reads = append(tx.reads, readRef{t: t, slot: slot, word: word})
+			tx.reads = append(tx.reads, readRef{t: t, slot: slot, key: key, word: word})
 		} else {
 			tx.readPayload(t, key, slot, off, n, dst)
 		}
-		tx.writesMark(t, slot)
+		tx.writesMark(t, key, slot)
 		tx.overlayOwnWrites(t, slot, off, n, dst)
 		return nil
 	}
 
 	// 2PL / TO: take the write lock first, then read under it.
-	if err := tx.writeIntent(t, slot); err != nil {
+	if err := tx.writeIntent(t, key, slot); err != nil {
 		return err
 	}
 	if err := liveErr(t, tx.clk, slot); err != nil {

@@ -8,6 +8,7 @@ import (
 	"falcon/internal/cc"
 	"falcon/internal/heap"
 	"falcon/internal/obs"
+	"falcon/internal/obs/contend"
 	"falcon/internal/sim"
 	"falcon/internal/wal"
 )
@@ -51,6 +52,9 @@ type Txn struct {
 	// tr is this worker's trace sink while the engine's tracer is armed
 	// (nil otherwise — the instrumented sites pay one pointer test).
 	tr *obs.WorkerTracer
+	// cw is this worker's contention-observatory shard while armed (nil
+	// otherwise — same one-pointer-test discipline as tr).
+	cw *contend.Worker
 	// dt is the deterministic group-mode state (nil in free-running mode —
 	// the instrumented sites pay one pointer test). See det.go.
 	dt *detTxn
@@ -123,6 +127,7 @@ type insertOp struct {
 type readRef struct {
 	t    *Table
 	slot uint64
+	key  uint64 // primary key (contention attribution)
 	word uint64
 	vt   uint64 // read vtime (group-mode barrier validation)
 }
@@ -131,6 +136,7 @@ type readRef struct {
 type lockRef struct {
 	t      *Table
 	slot   uint64
+	key    uint64 // primary key (contention attribution)
 	shared bool   // 2PL read lock
 	pre    uint64 // pre-lock word (TO/OCC restore on abort)
 	vt     uint64 // acquisition vtime (group-mode barrier validation)
@@ -169,6 +175,9 @@ func (e *Engine) begin(worker int, ro bool) *Txn {
 		tx.tr = e.tracerW[worker]
 		tx.tr.TxnBegin(tid, clk.Nanos())
 		tx.pt.AttachTrace(tx.tr)
+	}
+	if e.contendW != nil {
+		tx.cw = e.contendW[worker]
 	}
 	clk.Advance(e.sys.Cost().TxnOverhead)
 	if e.cfg.Update == InPlace && !ro {
@@ -224,6 +233,7 @@ func (tx *Txn) tstat(t *Table) *obs.TableStats {
 func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
 	tx.tstat(t).Reads++
+	tx.cw.Touch(int(t.id), key)
 
 	// Read-your-own-insert.
 	if ins := tx.findInsert(t, key); ins != nil {
@@ -266,7 +276,7 @@ func (tx *Txn) resolve(t *Table, key uint64) (uint64, bool) {
 // heap slot, shared by point reads and scans.
 func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) error {
 	if tx.snapshotRead() {
-		return tx.snapshotReadSlot(t, slot, off, n, dst)
+		return tx.snapshotReadSlot(t, key, slot, off, n, dst)
 	}
 
 	lock, _ := tx.metaFor(t, slot)
@@ -283,50 +293,54 @@ func (tx *Txn) readResolved(t *Table, key, slot uint64, off, n int, dst []byte) 
 	case cc.TwoPL:
 		if !tx.holdsShared(t, slot) {
 			if !cc.TryReadLock2PL(lock) {
-				return ErrConflict
+				return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictLockFail)
 			}
-			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, shared: true, vt: tx.clk.Nanos()})
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, key: key, shared: true, vt: tx.clk.Nanos()})
 		}
 		// The lock makes the flags stable.
 		if err := liveErr(t, tx.clk, slot); err != nil {
 			return err
 		}
 		tx.readPayload(t, key, slot, off, n, dst)
-		tx.detRecordRead(t, slot)
+		tx.detRecordRead(t, slot, key)
 		return nil
 
 	case cc.TO:
 		word := lock.Load()
-		if cc.Locked(word) || cc.WTSTO(word) > tx.tid {
-			return ErrConflict
+		if cc.Locked(word) {
+			return tx.ccConflict(t, key, slot, word, obs.ConflictLockFail)
+		}
+		if cc.WTSTO(word) > tx.tid {
+			return tx.ccConflict(t, key, slot, word, obs.ConflictTSOrder)
 		}
 		flags := t.heap.ReadFlags(tx.clk, slot)
 		_, readTS := tx.metaFor(t, slot)
 		cc.MaxTS(readTS, tx.tid)
 		tx.readPayload(t, key, slot, off, n, dst)
 		if lock.Load() != word {
-			return ErrConflict // concurrent writer slipped in: torn read
+			// Concurrent writer slipped in: torn read.
+			return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictTornRead)
 		}
 		if err := flagsErr(flags); err != nil {
 			return err
 		}
-		tx.detRecordRead(t, slot)
+		tx.detRecordRead(t, slot, key)
 		return nil
 
 	default: // OCC
 		word := lock.Load()
 		if cc.Locked(word) {
-			return ErrConflict // no-wait
+			return tx.ccConflict(t, key, slot, word, obs.ConflictLockFail) // no-wait
 		}
 		flags := t.heap.ReadFlags(tx.clk, slot)
 		tx.readPayload(t, key, slot, off, n, dst)
 		if lock.Load() != word {
-			return ErrConflict
+			return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictTornRead)
 		}
 		if err := flagsErr(flags); err != nil {
 			return err
 		}
-		tx.reads = append(tx.reads, readRef{t: t, slot: slot, word: word, vt: tx.clk.Nanos()})
+		tx.reads = append(tx.reads, readRef{t: t, slot: slot, key: key, word: word, vt: tx.clk.Nanos()})
 		return nil
 	}
 }
@@ -383,17 +397,30 @@ func (tx *Txn) readPayload(t *Table, key uint64, slot uint64, off, n int, dst []
 // than an in-flight writer must wait for that writer's in-place apply to
 // finish (its chain only covers older intervals), so the loop spins briefly
 // in that case — writers hold tuples only across the short apply phase.
-func (tx *Txn) snapshotReadSlot(t *Table, slot uint64, off, n int, dst []byte) error {
-	if tx.tr == nil {
+func (tx *Txn) snapshotReadSlot(t *Table, key, slot uint64, off, n int, dst []byte) error {
+	if tx.tr == nil && tx.cw == nil {
 		return tx.snapshotReadSlotSpin(t, slot, off, n, dst, nil)
 	}
-	// Traced: if the read had to spin behind a mid-apply writer, record the
-	// stall as a lock-wait span (start approximates the first probe).
+	// Traced or observed: if the read had to spin behind a mid-apply writer,
+	// record the stall as a lock-wait span / spin-wait conflict (start
+	// approximates the first probe).
 	var spins uint64
 	start := tx.clk.Nanos()
 	err := tx.snapshotReadSlotSpin(t, slot, off, n, dst, &spins)
 	if spins > 0 {
-		tx.tr.Span(obs.EvLockWait, start, tx.clk.Nanos(), slot, spins)
+		now := tx.clk.Nanos()
+		if tx.tr != nil {
+			tx.tr.Span(obs.EvLockWait, start, now, slot, spins)
+		}
+		if tx.cw != nil {
+			// The word now carries the writer we waited behind.
+			lock, _ := t.heap.Meta(slot)
+			holder := -1
+			if h := cc.HolderTID(tx.e.cfg.CC, lock.Load()); h != 0 {
+				holder = cc.TIDWorker(h)
+			}
+			tx.cw.Conflict(int(t.id), key, slot, obs.ConflictSpinWait, holder, now-start, now)
+		}
 	}
 	return err
 }
@@ -460,6 +487,7 @@ func (tx *Txn) Update(t *Table, key uint64, off int, data []byte) error {
 		return ErrReadOnly
 	}
 
+	tx.cw.Touch(int(t.id), key)
 	if ins := tx.findInsert(t, key); ins != nil {
 		return tx.updatePendingInsert(ins, off, data)
 	}
@@ -467,7 +495,7 @@ func (tx *Txn) Update(t *Table, key uint64, off int, data []byte) error {
 	if !ok {
 		return ErrNotFound
 	}
-	if err := tx.writeIntent(t, slot); err != nil {
+	if err := tx.writeIntent(t, key, slot); err != nil {
 		return err
 	}
 	return tx.bufferWrite(t, wal.OpUpdate, slot, key, off, data, 0)
@@ -485,11 +513,12 @@ func (tx *Txn) Delete(t *Table, key uint64) error {
 	if tx.ro {
 		return ErrReadOnly
 	}
+	tx.cw.Touch(int(t.id), key)
 	slot, ok := tx.resolve(t, key)
 	if !ok {
 		return ErrNotFound
 	}
-	if err := tx.writeIntent(t, slot); err != nil {
+	if err := tx.writeIntent(t, key, slot); err != nil {
 		return err
 	}
 	var secKey uint64
@@ -507,11 +536,13 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 	if tx.ro {
 		return ErrReadOnly
 	}
+	tx.cw.Touch(int(t.id), key)
 	if tx.findInsert(t, key) != nil {
 		return ErrDuplicateKey
 	}
 	if !tx.reserveKey(t, key) {
-		return ErrConflict // another in-flight insert on the same key
+		// Another in-flight insert holds the key latch.
+		return tx.ccConflict(t, key, 0, 0, obs.ConflictLockFail)
 	}
 	if _, exists := tx.resolve(t, key); exists {
 		tx.releaseKey(t, key)
@@ -543,14 +574,14 @@ func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
 
 // writeIntent acquires the algorithm-specific right to write slot,
 // attributing the acquisition to the CC phase.
-func (tx *Txn) writeIntent(t *Table, slot uint64) error {
+func (tx *Txn) writeIntent(t *Table, key, slot uint64) error {
 	prev := tx.pt.To(obs.PhaseCC)
-	err := tx.writeIntentCC(t, slot)
+	err := tx.writeIntentCC(t, key, slot)
 	tx.pt.To(prev)
 	return err
 }
 
-func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
+func (tx *Txn) writeIntentCC(t *Table, key, slot uint64) error {
 	if tx.ownsWrite(t, slot) {
 		return nil
 	}
@@ -559,32 +590,32 @@ func (tx *Txn) writeIntentCC(t *Table, slot uint64) error {
 	case cc.TwoPL:
 		if tx.holdsShared(t, slot) {
 			if !cc.TryUpgrade2PL(lock) {
-				return ErrConflict
+				return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictUpgrade)
 			}
 			tx.dropShared(t, slot)
-			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, vt: tx.clk.Nanos()})
+			tx.locks = append(tx.locks, lockRef{t: t, slot: slot, key: key, vt: tx.clk.Nanos()})
 			return tx.liveIntent(t, slot)
 		}
 		if !cc.TryWriteLock2PL(lock) {
-			return ErrConflict
+			return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictLockFail)
 		}
-		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, vt: tx.clk.Nanos()})
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, key: key, vt: tx.clk.Nanos()})
 		return tx.liveIntent(t, slot)
 
 	case cc.TO:
 		pre, ok := cc.TryLockTO(lock)
 		if !ok {
-			return ErrConflict
+			return tx.ccConflict(t, key, slot, lock.Load(), obs.ConflictLockFail)
 		}
 		if cc.WTSTO(pre) > tx.tid || readTS.Load() > tx.tid {
 			cc.UnlockTOKeep(lock, pre)
-			return ErrConflict
+			return tx.ccConflict(t, key, slot, pre, obs.ConflictTSOrder)
 		}
-		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, pre: pre, vt: tx.clk.Nanos()})
+		tx.locks = append(tx.locks, lockRef{t: t, slot: slot, key: key, pre: pre, vt: tx.clk.Nanos()})
 		return tx.liveIntent(t, slot)
 
 	default: // OCC defers locking to validation
-		tx.writesMark(t, slot)
+		tx.writesMark(t, key, slot)
 		return nil
 	}
 }
@@ -713,9 +744,9 @@ func (tx *Txn) dropShared(t *Table, slot uint64) {
 }
 
 // occMarks tracks write intents under OCC before any op is buffered.
-func (tx *Txn) writesMark(t *Table, slot uint64) {
+func (tx *Txn) writesMark(t *Table, key, slot uint64) {
 	if !tx.occMarked(t, slot) {
-		tx.occIntents = append(tx.occIntents, lockRef{t: t, slot: slot})
+		tx.occIntents = append(tx.occIntents, lockRef{t: t, slot: slot, key: key})
 	}
 }
 

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusCellsGrammar checks the multi-cell exposition: several
+// labelled snapshots must merge into one document with a single HELP/TYPE
+// header per metric family while every sample carries its cell label.
+// Naively concatenating per-cell expositions would repeat the headers, which
+// the text format forbids — this test fails on that shape.
+func TestWritePrometheusCellsGrammar(t *testing.T) {
+	cells := []NamedSnapshot{
+		{Label: "Falcon/YCSB-A/8", Snap: promTestSnapshot()},
+		{Label: "Inp/TPC-C/4", Snap: promTestSnapshot()},
+	}
+	var sb strings.Builder
+	if err := WritePrometheusCells(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	helpSeen := map[string]bool{}
+	samples := map[string]int{} // samples per cell-label value
+	for ln, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if m := promHelpRe.FindStringSubmatch(line); m != nil {
+			if helpSeen[m[1]] {
+				t.Fatalf("line %d: duplicate HELP for %s — cells were concatenated, not merged", ln+1, m[1])
+			}
+			helpSeen[m[1]] = true
+			continue
+		}
+		if m := promTypeRe.FindStringSubmatch(line); m != nil {
+			if !helpSeen[m[1]] {
+				t.Fatalf("line %d: TYPE for %s before its HELP", ln+1, m[1])
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid exposition line: %q", ln+1, line)
+		}
+		cell, ok := parseLabels(t, m[3])["cell"]
+		if !ok {
+			t.Fatalf("line %d: sample without a cell label: %q", ln+1, line)
+		}
+		samples[cell]++
+	}
+	if len(samples) != 2 {
+		t.Fatalf("expected samples from exactly 2 cells, got %v", samples)
+	}
+	// The two cells hold identical snapshots, so they must contribute
+	// identical sample counts; a mismatch means one cell was truncated.
+	if samples["Falcon/YCSB-A/8"] != samples["Inp/TPC-C/4"] {
+		t.Fatalf("identical snapshots produced different sample counts: %v", samples)
+	}
+	if samples["Falcon/YCSB-A/8"] == 0 {
+		t.Fatal("no samples emitted")
+	}
+}

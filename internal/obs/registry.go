@@ -221,7 +221,15 @@ type Snapshot struct {
 	// Tables maps table name to its per-table counters (nil when the source
 	// engine registers no tables).
 	Tables map[string]TableStats `json:",omitempty"`
+	// Contend carries the contention & flush-amplification observatory
+	// report; nil unless the observatory was armed for the window.
+	Contend *ContentionStats `json:",omitempty"`
 }
+
+// SnapshotSchema versions the JSON rendering of a Snapshot. Consumers
+// should reject schemas they do not know; the format only grows, so a
+// version bump signals a field rename or semantic change, not an addition.
+const SnapshotSchema = "falcon/obs-snapshot/v1"
 
 // Sub returns the element-wise difference s - o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
@@ -239,6 +247,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	for i := range s.AbortCounts {
 		out.AbortCounts[i] = s.AbortCounts[i] - o.AbortCounts[i]
 	}
+	out.Contend = s.Contend.Sub(o.Contend)
 	if s.Tables != nil {
 		out.Tables = make(map[string]TableStats, len(s.Tables))
 		for name, ts := range s.Tables {
@@ -317,6 +326,9 @@ func (s Snapshot) Text() string {
 	fmt.Fprintf(&b, "          cache hits %d  misses %d  dirty-evict %d  clwb-wb %d  xpbuf merges %d\n",
 		s.Mem.CacheHits, s.Mem.CacheMisses, s.Mem.DirtyEvictions,
 		s.Mem.ClwbWritebacks, s.Mem.XPBufferMerges)
+	if s.Contend != nil {
+		b.WriteString(s.Contend.Text())
+	}
 	return b.String()
 }
 
@@ -331,6 +343,7 @@ func (s Snapshot) JSON() ([]byte, error) {
 		reasons[AbortReasonNames[i]] = n
 	}
 	m := map[string]any{
+		"schema":       SnapshotSchema,
 		"commits":      s.Commits,
 		"aborts":       s.Aborts,
 		"phase_nanos":  phases,
@@ -344,6 +357,9 @@ func (s Snapshot) JSON() ([]byte, error) {
 	}
 	if len(s.Tables) > 0 {
 		m["tables"] = s.Tables
+	}
+	if s.Contend != nil {
+		m["contend"] = s.Contend
 	}
 	return json.MarshalIndent(m, "", "  ")
 }

@@ -368,6 +368,34 @@ func (w *WorkerTracer) fillExemplar(ex *Exemplar, end uint64, reason int) {
 	ex.Events = append(ex.Events[:0], w.cur...)
 }
 
+// TxnElapsed returns the active transaction's virtual duration so far, or
+// 0 when no transaction is open. Observatory exemplar admission uses it to
+// decide whether a capture is worth the copy.
+func (w *WorkerTracer) TxnElapsed(now uint64) uint64 {
+	if w == nil || !w.active {
+		return 0
+	}
+	return now - w.txnStart
+}
+
+// CaptureCurrent fills ex with the active transaction's span stack so far —
+// the observatory's slowest-exemplar capture, taken mid-transaction at a
+// conflict site rather than at TxnEnd. ex's event slice is reused, keeping
+// repeated captures allocation-free. Reports false when no transaction is
+// open (or w is nil), leaving ex untouched.
+func (w *WorkerTracer) CaptureCurrent(ex *Exemplar, end uint64, reason string) bool {
+	if w == nil || !w.active {
+		return false
+	}
+	ex.Worker = int(w.worker)
+	ex.TID = w.txnTID
+	ex.Start = w.txnStart
+	ex.End = end
+	ex.Abort = reason
+	ex.Events = append(ex.Events[:0], w.cur...)
+	return true
+}
+
 // TraceDump is the quiescent read-out of a Tracer: every worker's ring
 // merged (oldest first per worker), plus the exemplar stores. It is the
 // value carried on bench.Result and consumed by the exporters.

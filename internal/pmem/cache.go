@@ -38,6 +38,10 @@ type Cache struct {
 	// harnesses only; see FaultPlan). Nil on every production path, so the
 	// hot loops pay a single predictable branch.
 	faults *FaultPlan
+	// contend, when non-nil, receives every dirty-line writeback for
+	// flush-traffic attribution (see ContendFn). Writebacks are off the
+	// hit path, so the disarmed cost is one pointer test per writeback.
+	contend ContendFn
 	// dataless marks a timing-only cache: hit/miss/eviction state and cost
 	// charging run as usual, but line payloads are never copied in or out.
 	// Deterministic worker-parallel mode uses one dataless cache per worker
@@ -266,6 +270,9 @@ func (c *Cache) CLWB(clk *sim.Clock, addr uint64, n int) {
 			c.lower.writeBackLine(clk, la, &set.data[w])
 			set.meta[w].state = lineClean
 			sh.ClwbWritebacks.Add(1)
+			if c.contend != nil {
+				c.contend(clk.ShardID(), ContendClwbLine, la)
+			}
 		}
 		set.mu.unlock()
 		if c.faults != nil {
@@ -327,6 +334,9 @@ func (c *Cache) CLWBTrain(clk *sim.Clock, spans []Span) {
 				c.lower.writeBackLine(clk, la, &set.data[w])
 				set.meta[w].state = lineClean
 				sh.ClwbWritebacks.Add(1)
+				if c.contend != nil {
+					c.contend(clk.ShardID(), ContendTrainLine, la)
+				}
 			}
 			set.mu.unlock()
 			if c.faults != nil {
@@ -408,6 +418,9 @@ func (c *Cache) evictLocked(clk *sim.Clock, sh *StatShard, set *cacheSet, w int)
 		clk.Advance(c.cost.LineWriteback)
 		c.lower.writeBackLine(clk, m.addr, &set.data[w])
 		sh.DirtyEvictions.Add(1)
+		if c.contend != nil {
+			c.contend(clk.ShardID(), ContendEvictLine, m.addr)
+		}
 	case lineClean:
 		sh.CleanEvictions.Add(1)
 	}

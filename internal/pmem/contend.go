@@ -1,0 +1,35 @@
+package pmem
+
+// ContendKind classifies one flush-traffic event reported to the contention
+// observatory's hook. The kinds mirror the writeback paths of the simulated
+// memory system: explicit CLWB, hinted flush trains, cache capacity
+// evictions, and XPBuffer block evictions.
+type ContendKind uint8
+
+const (
+	// ContendClwbLine is a dirty 64 B line written back by an explicit CLWB.
+	ContendClwbLine ContendKind = iota
+	// ContendTrainLine is a dirty line written back inside a CLWBTrain.
+	ContendTrainLine
+	// ContendEvictLine is a dirty line written back by cache replacement.
+	ContendEvictLine
+	// ContendXPEvictFull is a fully populated 256 B XPBuffer block eviction
+	// (single media write).
+	ContendXPEvictFull
+	// ContendXPEvictPartial is a partial block eviction (read-modify-write).
+	ContendXPEvictPartial
+)
+
+// ContendFn receives one flush-traffic event: the causing clock's shard id
+// (= worker id, the routing every sharded accumulator here uses) and the
+// event's line or block address. pmem sits below obs in the import graph,
+// so — like TraceFn — the hook is a plain function type; the observatory in
+// obs/contend provides an implementation. Implementations must be
+// worker-local on shard: the hook runs under cache-set or buffer-bank
+// spinlocks, so it must only touch shard-private state, never allocate, and
+// never block.
+type ContendFn func(shard uint64, kind ContendKind, addr uint64)
+
+// Banks returns the number of independently locked buffer banks — the set
+// count for the observatory's XPBuffer set-contention accounting.
+func (b *XPBuffer) Banks() int { return len(b.banks) }

@@ -32,6 +32,9 @@ type XPBuffer struct {
 	// trace, when non-nil, receives every slot eviction (see TraceFn). The
 	// unarmed fast path pays one pointer test per eviction.
 	trace TraceFn
+	// contend, when non-nil, receives every slot eviction for flush-traffic
+	// attribution (see ContendFn). Same one-pointer-test discipline as trace.
+	contend ContendFn
 	// dataless marks a timing-only buffer (deterministic group mode): slot
 	// occupancy, merge accounting and media-cost charging run as usual, but
 	// no payload bytes are staged and — critically — evictions never write
@@ -208,6 +211,13 @@ func (b *XPBuffer) evictSlotLocked(clk *sim.Clock, sh *StatShard, bank *xpBank, 
 		// The hook appends to a worker-local buffer (no locks), so calling
 		// it under the bank spinlock is safe.
 		b.trace(clk.ShardID(), evStart, clk.Nanos(), full, s.blockAddr)
+	}
+	if b.contend != nil {
+		kind := ContendXPEvictFull
+		if !full {
+			kind = ContendXPEvictPartial
+		}
+		b.contend(clk.ShardID(), kind, s.blockAddr)
 	}
 
 	delete(bank.index, s.blockAddr)

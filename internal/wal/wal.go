@@ -120,6 +120,10 @@ type Window struct {
 	// Owned by the same worker goroutine as the window (single-writer); nil
 	// when tracing is off, so the fast path pays one pointer test.
 	tr *obs.WorkerTracer
+	// contend, when armed, receives flush-line and group-wait attribution
+	// events (see ContendSink). Same single-owner, one-pointer-test
+	// discipline as tr.
+	contend ContendSink
 	// scratch is the window's reusable header buffer. Headers must be
 	// written and parsed as multi-word images (one simulated store or load),
 	// so the word-at-a-time Space helpers do not apply; a stack buffer
@@ -157,12 +161,30 @@ func (w *Window) GroupWait(clk *sim.Clock) uint64 {
 	if id == 0 {
 		return 0
 	}
-	return w.board.reclaimWait(clk, w.tr, id)
+	n := w.board.reclaimWait(clk, w.tr, id)
+	if n > 0 && w.contend != nil {
+		w.contend.WALGroupWaitNanos(n)
+	}
+	return n
+}
+
+// ContendSink receives the window's flush-traffic contributions for the
+// contention observatory: lines the per-commit drain path issued clwb for,
+// and virtual nanoseconds stalled on group-commit slot reclaim. Implemented
+// by the observatory's per-worker recorder; like the window itself it is
+// single-owner, so implementations need no synchronisation.
+type ContendSink interface {
+	WALFlushLines(lines uint64)
+	WALGroupWaitNanos(nanos uint64)
 }
 
 // SetTrace arms (or with nil, disarms) trace-event capture on the window.
 // Must be called while the owning worker is quiescent.
 func (w *Window) SetTrace(tr *obs.WorkerTracer) { w.tr = tr }
+
+// SetContend arms (or with nil, disarms) flush-traffic attribution on the
+// window. Must be called while the owning worker is quiescent.
+func (w *Window) SetContend(sink ContendSink) { w.contend = sink }
 
 // Stats returns a copy of the window's accumulated gauges, with the slot
 // capacity filled in as the occupancy denominator.
@@ -414,6 +436,9 @@ func (l *TxnLog) drainPending(clk *sim.Clock) {
 	l.w.space.SFence(clk)
 	if l.w.tr != nil {
 		l.w.tr.Span(obs.EvFlushTrain, flushStart, clk.Nanos(), lines, 0)
+	}
+	if l.w.contend != nil {
+		l.w.contend.WALFlushLines(lines)
 	}
 }
 
