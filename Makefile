@@ -1,6 +1,6 @@
 # Convenience targets; everything also works with plain go commands.
 
-.PHONY: build test race race-par bench bench-quick sweep phase-tables trace-check
+.PHONY: build test race race-par bench bench-quick sweep phase-tables trace-check soak loadgen-smoke
 
 build:
 	go build ./...
@@ -40,6 +40,19 @@ sweep:
 phase-tables:
 	go run ./cmd/falcon-sweep -md EXPERIMENTS.md
 	go run ./cmd/falcon-sweep -md EXPERIMENTS.md -groupcommit
+
+# Server soak: the serving layer (admission, deadlines, idempotent replay,
+# drain) and every loadgen scenario — including overload at 2x the saturation
+# knee and the retry storm — under the race detector against in-process
+# servers (same lane CI runs).
+soak:
+	go test -race ./internal/server/... ./internal/loadgen
+
+# End-to-end serving smoke: boot falcon-serve, drive one closed-loop loadgen
+# round, check the falcon/loadgen/v1 report stamp and /metrics exposition,
+# then SIGTERM-drain (same lane CI runs).
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
 
 # Produce a tiny trace and validate it against the Chrome trace-event schema
 # (same lane CI runs).

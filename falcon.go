@@ -109,6 +109,7 @@ var (
 	ErrNotFound     = core.ErrNotFound
 	ErrDuplicateKey = core.ErrDuplicateKey
 	ErrRollback     = core.ErrRollback
+	ErrCanceled     = core.ErrCanceled
 	ErrTxnTooLarge  = core.ErrTxnTooLarge
 	ErrTableFull    = core.ErrTableFull
 )

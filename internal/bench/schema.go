@@ -13,4 +13,6 @@ const (
 	// HostPerfSchema marks the falcon-hostbench baseline file
 	// (BENCH_hostperf.json).
 	HostPerfSchema = "falcon/hostperf/v1"
+	// LoadgenSchema marks falcon-loadgen -json reports (loadgen.Report).
+	LoadgenSchema = "falcon/loadgen/v1"
 )

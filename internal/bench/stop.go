@@ -1,0 +1,23 @@
+package bench
+
+import "sync/atomic"
+
+// StopFlag is a shared cancellation flag: one writer side (Stop) and any
+// number of polling readers (Stopped). bench.Run's workers poll it between
+// transactions — the same check that aborts a phase when a worker errors —
+// and the serving layer polls it on admission, so a single flag drains both
+// an in-flight benchmark phase and a server's request path (SIGTERM →
+// Stop() → finish in-flight → seal the group-commit epoch).
+//
+// The zero value is a not-stopped flag, ready to use.
+type StopFlag struct {
+	stopped atomic.Bool
+}
+
+// Stop raises the flag. Idempotent; safe from any goroutine (including
+// signal handlers' goroutines).
+func (f *StopFlag) Stop() { f.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called. A nil receiver reports
+// false, so optional wiring costs one pointer test.
+func (f *StopFlag) Stopped() bool { return f != nil && f.stopped.Load() }

@@ -500,8 +500,40 @@ func (tx *Txn) finish(committed bool) {
 // Run executes fn inside a transaction on worker's thread, retrying on
 // conflicts. fn may return ErrRollback to abort without retry.
 func (e *Engine) Run(worker int, fn func(*Txn) error) error {
+	return e.run(worker, false, nil, fn)
+}
+
+// RunRO executes fn inside a read-only transaction, retrying on conflicts.
+func (e *Engine) RunRO(worker int, fn func(*Txn) error) error {
+	return e.run(worker, true, nil, fn)
+}
+
+// RunCancelable is Run with a cancellation hook: canceled is polled before
+// each attempt and at every operation entry point inside the transaction; a
+// true return aborts the attempt (counted under the "canceled" abort reason)
+// and RunCancelable returns ErrCanceled without retrying. The serving layer
+// uses this to propagate per-request deadlines into transaction execution.
+func (e *Engine) RunCancelable(worker int, canceled func() bool, fn func(*Txn) error) error {
+	return e.run(worker, false, canceled, fn)
+}
+
+// RunROCancelable is RunRO with a cancellation hook (see RunCancelable).
+func (e *Engine) RunROCancelable(worker int, canceled func() bool, fn func(*Txn) error) error {
+	return e.run(worker, true, canceled, fn)
+}
+
+func (e *Engine) run(worker int, ro bool, canceled func() bool, fn func(*Txn) error) error {
 	for {
-		tx := e.Begin(worker)
+		if canceled != nil && canceled() {
+			return ErrCanceled
+		}
+		var tx *Txn
+		if ro {
+			tx = e.BeginRO(worker)
+		} else {
+			tx = e.Begin(worker)
+		}
+		tx.cancel = canceled
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit()
@@ -523,33 +555,6 @@ func (e *Engine) Run(worker int, fn func(*Txn) error) error {
 				}
 			} else {
 				runtime.Gosched() // break retry lockstep between workers
-			}
-			continue
-		}
-		return err
-	}
-}
-
-// RunRO executes fn inside a read-only transaction, retrying on conflicts.
-func (e *Engine) RunRO(worker int, fn func(*Txn) error) error {
-	for {
-		tx := e.BeginRO(worker)
-		err := fn(tx)
-		if err == nil {
-			err = tx.Commit()
-		}
-		if err == nil {
-			return nil
-		}
-		tx.classifyAbort(err)
-		tx.Abort()
-		if errors.Is(err, ErrConflict) {
-			if d := e.det; d != nil {
-				if tx.dt == nil || !tx.dt.submitted {
-					d.group.Submit(&sim.Attempt{Order: tx.tid})
-				}
-			} else {
-				runtime.Gosched()
 			}
 			continue
 		}
@@ -602,6 +607,9 @@ func (tx *Txn) scanIndex(t *Table, idx index.Index, from uint64, limit int, fn f
 
 // readSlot performs the CC read of an already-resolved slot (scan path).
 func (tx *Txn) readSlot(t *Table, key, slot uint64, dst []byte) error {
+	if err := tx.checkCancel(); err != nil {
+		return err
+	}
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
 	tx.tstat(t).Reads++
 	tx.cw.Touch(int(t.id), key)

@@ -45,6 +45,10 @@ type RecoveryReport struct {
 	// CorruptRecords counts structurally valid log records rejected by CRC
 	// verification.
 	CorruptRecords int
+	// StaleFreeDropped counts deleted-list entries recovery discarded because
+	// they aliased a live (re-inserted) slot — recycling them would clobber a
+	// committed tuple.
+	StaleFreeDropped int
 	// DroppedUnsealed counts group-commit records published into epochs the
 	// durable epoch marker never covered: their transactions reached the
 	// publish point but not the durable point, so the whole epoch is dropped
@@ -375,6 +379,15 @@ func (e *Engine) replayLogs(clk *sim.Clock, rep *RecoveryReport, fixIndexes bool
 				}
 			}
 		}
+	}
+	// Replay can leave live slots on the deleted lists: the OpDelete arm may
+	// relink a slot that a later record re-inserts (its timestamp guard reads
+	// the durable tuple, which cannot reflect heap writes that were still in
+	// the lost cache when the re-inserting record was published), and under
+	// ADR the durable lists themselves may be stale. Now that every durable
+	// flag is final, drop any entry that aliases a live tuple.
+	for _, t := range e.tables {
+		rep.StaleFreeDropped += t.heap.ScrubDeletedLists(clk)
 	}
 	// Flush replayed state so a crash during recovery restarts cleanly.
 	e.nvm.SFence(clk)

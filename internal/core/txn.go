@@ -31,6 +31,11 @@ var ErrTxnTooLarge = errors.New("core: transaction exceeds log capacity")
 // ErrReadOnly reports a write attempted in a read-only transaction.
 var ErrReadOnly = errors.New("core: read-only transaction")
 
+// ErrCanceled reports a transaction cut short by its cancellation hook: the
+// request's deadline expired (or the caller withdrew it) while the
+// transaction executed. The attempt is aborted and never retried.
+var ErrCanceled = errors.New("core: transaction canceled")
+
 // Txn is one transaction. It is bound to the worker thread that began it and
 // must not be shared across goroutines.
 type Txn struct {
@@ -58,6 +63,11 @@ type Txn struct {
 	// dt is the deterministic group-mode state (nil in free-running mode —
 	// the instrumented sites pay one pointer test). See det.go.
 	dt *detTxn
+	// cancel, when non-nil, is polled at operation entry points; a true
+	// return makes the op fail with ErrCanceled (deadline propagation from
+	// the serving layer — nil in the common embedded case, so the op path
+	// pays one pointer test).
+	cancel func() bool
 
 	writes     []writeOp
 	inserts    []insertOp
@@ -86,6 +96,8 @@ func (tx *Txn) classifyAbort(err error) {
 		tx.setAbortCause(obs.AbortTableFull)
 	case errors.Is(err, ErrTxnTooLarge):
 		tx.setAbortCause(obs.AbortLogFull)
+	case errors.Is(err, ErrCanceled):
+		tx.setAbortCause(obs.AbortCanceled)
 	case errors.Is(err, ErrConflict):
 		if !tx.causeSet {
 			tx.setAbortCause(obs.AbortLockConflict)
@@ -230,7 +242,19 @@ func (tx *Txn) tstat(t *Table) *obs.TableStats {
 	return &tx.e.tstats[tx.worker][t.id].TableStats
 }
 
+// checkCancel polls the cancellation hook; every operation entry point calls
+// it so an expired deadline surfaces within one op, not one transaction.
+func (tx *Txn) checkCancel() error {
+	if tx.cancel != nil && tx.cancel() {
+		return ErrCanceled
+	}
+	return nil
+}
+
 func (tx *Txn) read(t *Table, key uint64, off, n int, dst []byte) error {
+	if err := tx.checkCancel(); err != nil {
+		return err
+	}
 	tx.clk.Advance(tx.e.sys.Cost().OpOverhead)
 	tx.tstat(t).Reads++
 	tx.cw.Touch(int(t.id), key)
@@ -481,6 +505,9 @@ func (tx *Txn) snapshotReadSlotSpin(t *Table, slot uint64, off, n int, dst []byt
 
 // Update overwrites payload bytes [off, off+len(data)) of the tuple for key.
 func (tx *Txn) Update(t *Table, key uint64, off int, data []byte) error {
+	if err := tx.checkCancel(); err != nil {
+		return err
+	}
 	cost := tx.e.sys.Cost()
 	tx.clk.Advance(cost.OpOverhead)
 	if tx.ro {
@@ -508,6 +535,9 @@ func (tx *Txn) UpdateField(t *Table, key uint64, col int, data []byte) error {
 
 // Delete removes the tuple for key at commit.
 func (tx *Txn) Delete(t *Table, key uint64) error {
+	if err := tx.checkCancel(); err != nil {
+		return err
+	}
 	cost := tx.e.sys.Cost()
 	tx.clk.Advance(cost.OpOverhead)
 	if tx.ro {
@@ -531,6 +561,9 @@ func (tx *Txn) Delete(t *Table, key uint64) error {
 // Insert adds a tuple with the given payload (len = tuple size). The key
 // must equal the payload's key column; the slot becomes visible at commit.
 func (tx *Txn) Insert(t *Table, key uint64, payload []byte) error {
+	if err := tx.checkCancel(); err != nil {
+		return err
+	}
 	cost := tx.e.sys.Cost()
 	tx.clk.Advance(cost.OpOverhead)
 	if tx.ro {

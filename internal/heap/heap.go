@@ -551,6 +551,57 @@ func (h *Heap) EnsureCursorPast(clk *sim.Clock, slot uint64) {
 	}
 }
 
+// ScrubDeletedLists drops from each thread's deleted list every entry whose
+// slot is live again, and rewrites the durable chain so the media and the
+// DRAM mirror agree. Two crash shapes leave a live slot listed: replay can
+// transiently relink a slot that a later committed record re-inserts (the
+// delete's timestamp guard cannot see heap writes that were still in the
+// lost cache when the re-inserting WAL record was published), and under ADR
+// the durable list head itself may be stale — still naming a slot whose
+// reclaiming pop was cached and lost while the re-allocating insert
+// committed. Either way, handing the slot out again would clobber a durably
+// committed tuple. In-place recovery calls this after log replay, once every
+// durable flag is final: only slots still marked dead stay listed. Horizons
+// reset to zero (no pre-crash transaction survives). Returns the number of
+// entries dropped.
+func (h *Heap) ScrubDeletedLists(clk *sim.Clock) (dropped int) {
+	for t := 0; t < h.nthreads; t++ {
+		h.listMu[t].Lock()
+		kept := h.free[t][:0]
+		seen := make(map[uint64]bool, len(h.free[t]))
+		for _, e := range h.free[t] {
+			if seen[e.slot] {
+				dropped++
+				continue
+			}
+			seen[e.slot] = true
+			if h.ReadFlags(clk, e.slot)&(FlagDeleted|FlagInvalidated) == 0 {
+				dropped++
+				continue
+			}
+			kept = append(kept, freeEntry{slot: e.slot})
+		}
+		if len(kept) == 0 {
+			h.writeThr(clk, t, thrDelHead, 0)
+			h.writeThr(clk, t, thrDelTail, 0)
+		} else {
+			h.writeThr(clk, t, thrDelHead, kept[0].slot+1)
+			h.writeThr(clk, t, thrDelTail, kept[len(kept)-1].slot+1)
+			for i, e := range kept {
+				var next uint64
+				if i+1 < len(kept) {
+					next = kept[i+1].slot + 1
+				}
+				w := h.readFlagsWord(clk, e.slot)
+				h.writeFlagsWord(clk, e.slot, (w&0xFF)|(next<<8))
+			}
+		}
+		h.free[t] = kept
+		h.listMu[t].Unlock()
+	}
+	return dropped
+}
+
 // ResetDeletedLists clears every thread's durable deleted list and its DRAM
 // mirror. The list head/tail and per-slot link words are written through the
 // cache on the hot path, so after an ADR crash the media may hold a stale

@@ -23,6 +23,10 @@ const (
 	// AbortLogFull is a redo log that exhausted the window's overflow
 	// capacity (ErrTxnTooLarge).
 	AbortLogFull
+	// AbortCanceled is a cancellation: the transaction's deadline expired (or
+	// its caller withdrew the request) mid-execution and ErrCanceled
+	// propagated out of the attempt.
+	AbortCanceled
 	// AbortOther is any abort the engine could not attribute (e.g. an
 	// application error like ErrNotFound propagating out of Engine.Run).
 	AbortOther
@@ -33,7 +37,7 @@ const (
 
 // AbortReasonNames maps AbortReason values to stable short names.
 var AbortReasonNames = [NumAbortReasons]string{
-	"lock-conflict", "validation", "user-rollback", "table-full", "log-full", "other",
+	"lock-conflict", "validation", "user-rollback", "table-full", "log-full", "canceled", "other",
 }
 
 func (r AbortReason) String() string {

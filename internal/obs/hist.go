@@ -1,6 +1,9 @@
 package obs
 
-import "math/bits"
+import (
+	"math/bits"
+	"sort"
+)
 
 // histBuckets covers bits.Len64 of any uint64: bucket 0 holds the value 0,
 // bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
@@ -140,6 +143,54 @@ func (h *Histogram) Dump() HistogramDump {
 		d.Buckets = append(d.Buckets, HistBucket{Lo: lo, Hi: hi, Count: c})
 	}
 	return d
+}
+
+// Mean returns the mean sample recorded in the dump (0 when empty).
+func (d HistogramDump) Mean() uint64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / d.Count
+}
+
+// Merge combines two dumps bucket-wise (buckets share the fixed log2 bounds,
+// so same-Lo buckets add). Either side may be empty.
+func (d HistogramDump) Merge(o HistogramDump) HistogramDump {
+	if o.Count == 0 {
+		return d
+	}
+	if d.Count == 0 {
+		return o
+	}
+	out := HistogramDump{
+		Count: d.Count + o.Count,
+		Sum:   d.Sum + o.Sum,
+		Min:   d.Min,
+		Max:   d.Max,
+	}
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	byLo := make(map[uint64]HistBucket, len(d.Buckets)+len(o.Buckets))
+	for _, b := range d.Buckets {
+		byLo[b.Lo] = b
+	}
+	for _, b := range o.Buckets {
+		if prev, ok := byLo[b.Lo]; ok {
+			prev.Count += b.Count
+			byLo[b.Lo] = prev
+		} else {
+			byLo[b.Lo] = b
+		}
+	}
+	for _, b := range byLo {
+		out.Buckets = append(out.Buckets, b)
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Lo < out.Buckets[j].Lo })
+	return out
 }
 
 // bucketBounds returns the inclusive value range of bucket i.

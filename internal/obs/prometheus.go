@@ -104,6 +104,41 @@ func promSnapshot(p *promWriter, s Snapshot) {
 		p.histogram("falcon_epoch_durable_lag_nanos", "Publish-to-seal virtual nanoseconds per record.", nil, s.Epochs.DurableLag)
 	}
 
+	if sv := s.Server; sv != nil {
+		eps := make([]string, 0, len(sv.Endpoints))
+		for name := range sv.Endpoints {
+			eps = append(eps, name)
+		}
+		sort.Strings(eps)
+		for _, name := range eps {
+			ep := sv.Endpoints[name]
+			l := map[string]string{"endpoint": name}
+			p.counter("falcon_server_requests_total", "Requests that reached the endpoint (accepted or shed).", l, ep.Requests)
+			p.counter("falcon_server_ok_total", "Requests answered successfully.", l, ep.OK)
+			p.counter("falcon_server_errors_total", "Requests failed with an engine or protocol error.", l, ep.Errors)
+			p.counter("falcon_server_shed_total", "Admission rejections by cause.",
+				map[string]string{"endpoint": name, "reason": "queue"}, ep.ShedQueue)
+			p.counter("falcon_server_shed_total", "Admission rejections by cause.",
+				map[string]string{"endpoint": name, "reason": "deadline"}, ep.ShedDeadline)
+			p.counter("falcon_server_shed_total", "Admission rejections by cause.",
+				map[string]string{"endpoint": name, "reason": "draining"}, ep.ShedDraining)
+			p.counter("falcon_server_expired_total", "Admitted requests whose deadline passed before completion.", l, ep.Expired)
+			p.counter("falcon_server_replayed_total", "Retries answered from the idempotency table.", l, ep.Replayed)
+			if ep.Latency.Count > 0 {
+				p.histogram("falcon_server_latency_nanos", "Accepted-request service time in host nanoseconds.", l, ep.Latency)
+			}
+		}
+		p.gauge("falcon_server_queue_depth", "Admission queue occupancy.", nil, sv.QueueDepth)
+		p.gauge("falcon_server_queue_cap", "Admission queue bound.", nil, sv.QueueCap)
+		p.gauge("falcon_server_workers", "Worker pool size.", nil, sv.Workers)
+		p.gauge("falcon_server_est_service_nanos", "EWMA service-time estimate driving deadline-aware rejection.", nil, sv.EstServiceNanos)
+		draining := uint64(0)
+		if sv.Draining {
+			draining = 1
+		}
+		p.gauge("falcon_server_draining", "1 while the server refuses new admissions.", nil, draining)
+	}
+
 	if c := s.Contend; c != nil {
 		for _, r := range c.Attribution {
 			l := map[string]string{

@@ -34,6 +34,18 @@ func promTestSnapshot() Snapshot {
 	}
 	s.Epochs = EpochStats{Sealed: 40, Records: 990, ForcedSeals: 1,
 		EpochSize: epochSize.Dump(), DurableLag: lag.Dump()}
+	var lat Histogram
+	for _, v := range []uint64{1000, 2000, 4000, 4000, 90000} {
+		lat.Observe(v)
+	}
+	s.Server = &ServerStats{
+		Endpoints: map[string]EndpointStats{
+			"/v1/txn": {Requests: 500, OK: 450, Errors: 5, ShedQueue: 30,
+				ShedDeadline: 10, ShedDraining: 5, Expired: 3, Replayed: 12, Latency: lat.Dump()},
+			"/v1/read": {Requests: 100, OK: 100},
+		},
+		QueueDepth: 7, QueueCap: 64, Workers: 4, EstServiceNanos: 2500, Draining: true,
+	}
 	s.Contend = &ContentionStats{
 		Algo: "occ",
 		Attribution: []AttributionRow{

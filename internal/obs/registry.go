@@ -224,6 +224,9 @@ type Snapshot struct {
 	// Contend carries the contention & flush-amplification observatory
 	// report; nil unless the observatory was armed for the window.
 	Contend *ContentionStats `json:",omitempty"`
+	// Server carries the serving layer's per-endpoint counters and admission
+	// gauges; nil unless a server registered a collector on this registry.
+	Server *ServerStats `json:",omitempty"`
 }
 
 // SnapshotSchema versions the JSON rendering of a Snapshot. Consumers
@@ -248,6 +251,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		out.AbortCounts[i] = s.AbortCounts[i] - o.AbortCounts[i]
 	}
 	out.Contend = s.Contend.Sub(o.Contend)
+	out.Server = s.Server.Sub(o.Server)
 	if s.Tables != nil {
 		out.Tables = make(map[string]TableStats, len(s.Tables))
 		for name, ts := range s.Tables {
@@ -326,6 +330,9 @@ func (s Snapshot) Text() string {
 	fmt.Fprintf(&b, "          cache hits %d  misses %d  dirty-evict %d  clwb-wb %d  xpbuf merges %d\n",
 		s.Mem.CacheHits, s.Mem.CacheMisses, s.Mem.DirtyEvictions,
 		s.Mem.ClwbWritebacks, s.Mem.XPBufferMerges)
+	if s.Server != nil {
+		b.WriteString(s.Server.Text())
+	}
 	if s.Contend != nil {
 		b.WriteString(s.Contend.Text())
 	}
@@ -360,6 +367,9 @@ func (s Snapshot) JSON() ([]byte, error) {
 	}
 	if s.Contend != nil {
 		m["contend"] = s.Contend
+	}
+	if s.Server != nil {
+		m["server"] = s.Server
 	}
 	return json.MarshalIndent(m, "", "  ")
 }

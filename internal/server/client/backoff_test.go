@@ -1,0 +1,100 @@
+package client
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: same seed → identical delay sequence; different
+// seed → different sequence.
+func TestBackoffDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		b := NewBackoff(10*time.Millisecond, 2*time.Second, seed)
+		out := make([]time.Duration, 12)
+		for i := range out {
+			out[i] = b.Delay(i)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v != %v with same seed", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestBackoffCapAndGrowth: delays grow roughly exponentially, stay within
+// [cap/2, cap) once capped, and never exceed the cap.
+func TestBackoffCapAndGrowth(t *testing.T) {
+	base, cap := 10*time.Millisecond, 500*time.Millisecond
+	b := NewBackoff(base, cap, 3)
+	for attempt := 0; attempt < 20; attempt++ {
+		d := b.Delay(attempt)
+		raw := base << uint(attempt)
+		if attempt > 20 || raw > cap || raw <= 0 {
+			raw = cap
+		}
+		if d >= cap {
+			t.Fatalf("attempt %d: delay %v >= cap %v", attempt, d, cap)
+		}
+		if d < raw/2 {
+			t.Fatalf("attempt %d: delay %v below half the window %v", attempt, d, raw)
+		}
+	}
+	// Late attempts must sit in the cap's jitter window.
+	for i := 0; i < 50; i++ {
+		d := b.Delay(15)
+		if d < cap/2 || d >= cap {
+			t.Fatalf("capped delay %v outside [%v, %v)", d, cap/2, cap)
+		}
+	}
+}
+
+// TestBackoffNoHerd: 64 clients shed at the same instant must NOT retry in
+// lockstep — their first-retry times spread across the jitter window rather
+// than collapsing onto a few instants.
+func TestBackoffNoHerd(t *testing.T) {
+	const clients = 64
+	delays := make([]time.Duration, clients)
+	for i := range delays {
+		delays[i] = NewBackoff(10*time.Millisecond, 2*time.Second, uint64(i+1)).Delay(0)
+	}
+	sorted := append([]time.Duration(nil), delays...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	// Distinctness: at least half the clients land on distinct instants.
+	distinct := 1
+	for i := 1; i < clients; i++ {
+		if sorted[i] != sorted[i-1] {
+			distinct++
+		}
+	}
+	if distinct < clients/2 {
+		t.Fatalf("only %d distinct retry instants across %d clients", distinct, clients)
+	}
+	// Spread: the population uses a meaningful fraction of the [5ms, 10ms)
+	// jitter window, not one tight cluster.
+	if spread := sorted[clients-1] - sorted[0]; spread < time.Millisecond {
+		t.Fatalf("retry spread %v too tight — synchronized herd", spread)
+	}
+	// No instant carries more than a quarter of the clients.
+	counts := map[time.Duration]int{}
+	for _, d := range delays {
+		counts[d]++
+		if counts[d] > clients/4 {
+			t.Fatalf("%d clients share retry instant %v", counts[d], d)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"falcon/internal/server"
+)
+
+// TestClientRetriesShedsThenSucceeds: the client retries 429s (honoring the
+// Retry-After-Ms hint) and reuses the idempotency key on every attempt.
+func TestClientRetriesShedsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	keys := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys <- r.Header.Get("Idempotency-Key")
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After-Ms", "20")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(&server.TxnResponse{Outcome: "error", Error: "shed: queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(&server.TxnResponse{Outcome: "ok", Digest: "00000000000000aa"})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: ts.URL,
+		Backoff: NewBackoff(time.Millisecond, 100*time.Millisecond, 1),
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := c.Do(99, &server.TxnRequest{Ops: []server.Op{{Op: "get", Table: "kv", Key: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Digest != "00000000000000aa" {
+		t.Fatalf("digest = %s", resp.Digest)
+	}
+	if c.Retries != 2 || c.Sheds != 2 {
+		t.Fatalf("retries %d sheds %d, want 2/2", c.Retries, c.Sheds)
+	}
+	close(keys)
+	for k := range keys {
+		if k != "99" {
+			t.Fatalf("idempotency key changed across retries: %q", k)
+		}
+	}
+	// The 20ms hint dominates the 1ms backoff base.
+	for _, d := range slept {
+		if d < 20*time.Millisecond {
+			t.Fatalf("slept %v, less than the server's 20ms hint", d)
+		}
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts and does not retry terminal errors.
+func TestClientAttemptPolicy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(&server.TxnResponse{Outcome: "error", Error: "shed"})
+	}))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 3,
+		Backoff: NewBackoff(time.Microsecond, time.Millisecond, 1),
+		Sleep:   func(time.Duration) {}}
+	if _, err := c.Do(1, &server.TxnRequest{Ops: []server.Op{{Op: "get", Table: "kv"}}}); err == nil {
+		t.Fatal("exhausted retries did not error")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("made %d attempts, want 3", calls.Load())
+	}
+
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(&server.TxnResponse{Outcome: "error", Error: "duplicate key"})
+	}))
+	defer ts2.Close()
+	c2 := &Client{BaseURL: ts2.URL, Sleep: func(time.Duration) {}}
+	if _, err := c2.Do(1, &server.TxnRequest{Ops: []server.Op{{Op: "insert", Table: "kv"}}}); err == nil {
+		t.Fatal("terminal 409 did not error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("terminal error retried: %d attempts", calls.Load())
+	}
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"falcon/internal/core"
+)
+
+// errReplayed signals that the idempotency table answered the request. It
+// wraps ErrRollback so the (side-effect-free) lookup transaction aborts under
+// the user-rollback taxonomy and Engine.Run does not retry it.
+var errReplayed = fmt.Errorf("server: idempotent replay (%w)", core.ErrRollback)
+
+// errIdemRace signals that another in-flight execution of the same
+// idempotency key committed between our lookup and our record insert; the
+// caller loops back and serves the replay.
+var errIdemRace = fmt.Errorf("server: idempotency-key race (%w)", core.ErrRollback)
+
+// Apply executes one request transaction on the given engine worker with
+// exactly-once semantics: the idempotency record for idemKey is read first
+// (a hit short-circuits to a replay), and on a fresh execution the record —
+// key, result digest, outcome — is inserted in the SAME transaction as the
+// request's effects, so a crash either persists both or neither. canceled
+// (may be nil) is the deadline hook threaded into core.RunCancelable.
+//
+// Apply is transport-independent: the HTTP pool and the crashtest cells both
+// call it, which is what lets the golden-model oracle judge the serving
+// path's crash behaviour.
+func Apply(e *core.Engine, worker int, idemKey uint64, req *TxnRequest, canceled func() bool) (*TxnResponse, error) {
+	idem := e.Table(IdemTable)
+	if idem == nil {
+		return nil, fmt.Errorf("server: engine has no %s table (see WithIdemTable)", IdemTable)
+	}
+	is := idem.Schema()
+	buf := make([]byte, is.TupleSize())
+	resp := &TxnResponse{}
+	for {
+		err := e.RunCancelable(worker, canceled, func(tx *core.Txn) error {
+			err := tx.Read(idem, idemKey, buf)
+			if err == nil {
+				resp.Outcome = "ok"
+				resp.Replayed = true
+				resp.Results = nil
+				resp.Digest = fmt.Sprintf("%016x", is.GetUint64(buf, 1))
+				return errReplayed
+			}
+			if !errors.Is(err, core.ErrNotFound) {
+				return err
+			}
+
+			results, err := execOps(e, tx, req)
+			if err != nil {
+				return err
+			}
+			digest := digestResults(results)
+			row := make([]byte, is.TupleSize())
+			is.PutUint64(row, 0, idemKey)
+			is.PutUint64(row, 1, digest)
+			is.PutInt64(row, 2, outcomeOK)
+			if err := tx.Insert(idem, idemKey, row); err != nil {
+				if errors.Is(err, core.ErrDuplicateKey) {
+					return errIdemRace
+				}
+				return err
+			}
+			resp.Outcome = "ok"
+			resp.Replayed = false
+			resp.Results = results
+			resp.Digest = fmt.Sprintf("%016x", digest)
+			return nil
+		})
+		switch {
+		case err == nil, errors.Is(err, errReplayed):
+			return resp, nil
+		case errors.Is(err, errIdemRace):
+			continue // the winner committed; next pass serves the replay
+		default:
+			return nil, err
+		}
+	}
+}
+
+// ApplyRO executes a read-only op list (gets only) with no idempotency
+// bookkeeping — reads are naturally idempotent.
+func ApplyRO(e *core.Engine, worker int, req *TxnRequest, canceled func() bool) (*TxnResponse, error) {
+	for _, op := range req.Ops {
+		if op.Op != "get" {
+			return nil, fmt.Errorf("server: read-only request carries %q op", op.Op)
+		}
+	}
+	var results []OpResult
+	err := e.RunROCancelable(worker, canceled, func(tx *core.Txn) error {
+		var err error
+		results, err = execOps(e, tx, req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TxnResponse{Outcome: "ok", Results: results, Digest: fmt.Sprintf("%016x", digestResults(results))}, nil
+}
+
+// execOps runs the request's ops inside tx against serving-schema tables.
+func execOps(e *core.Engine, tx *core.Txn, req *TxnRequest) ([]OpResult, error) {
+	results := make([]OpResult, 0, len(req.Ops))
+	for i, op := range req.Ops {
+		t := e.Table(op.Table)
+		if t == nil {
+			return nil, fmt.Errorf("op %d: no such table %q", i, op.Table)
+		}
+		s := t.Schema()
+		buf := make([]byte, s.TupleSize())
+		var res OpResult
+		switch op.Op {
+		case "get":
+			err := tx.Read(t, op.Key, buf)
+			switch {
+			case err == nil:
+				res = OpResult{Val: s.GetInt64(buf, 1), Found: true}
+			case errors.Is(err, core.ErrNotFound):
+				res = OpResult{Found: false}
+			default:
+				return nil, err
+			}
+		case "put":
+			var vb [8]byte
+			binary.LittleEndian.PutUint64(vb[:], uint64(op.Val))
+			err := tx.UpdateField(t, op.Key, 1, vb[:])
+			if errors.Is(err, core.ErrNotFound) {
+				s.PutUint64(buf, 0, op.Key)
+				s.PutInt64(buf, 1, op.Val)
+				err = tx.Insert(t, op.Key, buf)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res = OpResult{Val: op.Val, Found: true}
+		case "insert":
+			s.PutUint64(buf, 0, op.Key)
+			s.PutInt64(buf, 1, op.Val)
+			if err := tx.Insert(t, op.Key, buf); err != nil {
+				return nil, err
+			}
+			res = OpResult{Val: op.Val, Found: true}
+		case "add":
+			if err := tx.Read(t, op.Key, buf); err != nil {
+				return nil, err
+			}
+			v := s.GetInt64(buf, 1) + op.Val
+			var vb [8]byte
+			binary.LittleEndian.PutUint64(vb[:], uint64(v))
+			if err := tx.UpdateField(t, op.Key, 1, vb[:]); err != nil {
+				return nil, err
+			}
+			res = OpResult{Val: v, Found: true}
+		case "delete":
+			err := tx.Delete(t, op.Key)
+			switch {
+			case err == nil:
+				res = OpResult{Found: true}
+			case errors.Is(err, core.ErrNotFound):
+				res = OpResult{Found: false}
+			default:
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("op %d: unknown verb %q", i, op.Op)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// DigestOf renders the response digest for an op-result list — the value the
+// idempotency table stores and replays. The crash harness's golden model uses
+// it to predict what a replayed retry must return.
+func DigestOf(results []OpResult) string {
+	return fmt.Sprintf("%016x", digestResults(results))
+}
+
+// digestResults hashes the op results with FNV-1a over (index, val, found):
+// deterministic, order-sensitive, and cheap.
+func digestResults(results []OpResult) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	for i, r := range results {
+		mix(uint64(i))
+		mix(uint64(r.Val))
+		if r.Found {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}

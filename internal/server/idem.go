@@ -1,0 +1,50 @@
+package server
+
+import (
+	"falcon/internal/core"
+	"falcon/internal/index"
+	"falcon/internal/layout"
+)
+
+// IdemTable is the name of the idempotency table. It is a first-class engine
+// table: the request's effects and its idempotency record commit in ONE
+// transaction, so the record exists if and only if the request's effects are
+// durable — the "detectable operation" invariant the crash cells verify.
+const IdemTable = "__idem"
+
+// idemSchema is the idempotency record layout: request key, result digest,
+// outcome code.
+func idemSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Column{Name: "k", Kind: layout.Uint64},
+		layout.Column{Name: "digest", Kind: layout.Uint64},
+		layout.Column{Name: "outcome", Kind: layout.Int64},
+	)
+}
+
+// IdemSpec returns the idempotency table's spec. Engine tables are fixed at
+// core.New, so callers append this to their table list before opening the
+// engine (WithIdemTable does).
+func IdemSpec(capacity uint64) core.TableSpec {
+	return core.TableSpec{
+		Name:      IdemTable,
+		Schema:    idemSchema(),
+		Capacity:  capacity,
+		KeyCol:    0,
+		IndexKind: index.Hash,
+	}
+}
+
+// WithIdemTable appends the idempotency table (with the given record
+// capacity) to a table list, unless one is already present.
+func WithIdemTable(specs []core.TableSpec, capacity uint64) []core.TableSpec {
+	for _, s := range specs {
+		if s.Name == IdemTable {
+			return specs
+		}
+	}
+	return append(append([]core.TableSpec(nil), specs...), IdemSpec(capacity))
+}
+
+// outcome codes stored in the idempotency record.
+const outcomeOK int64 = 1
